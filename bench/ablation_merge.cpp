@@ -1,0 +1,46 @@
+// Ablation A: merge-policy sweep (DESIGN.md experiment index).
+//
+// Sweeps the designer tolerance epsilon_rel and the t-test significance
+// alpha of the simplify/join procedures and reports the resulting PSM
+// size and accuracy for RAM and AES. Demonstrates the compactness /
+// accuracy trade-off of Sec. IV: loose tolerances collapse distinct power
+// modes (accuracy degrades), tight tolerances inflate the state count.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "core/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psmgen;
+  const std::size_t eval_cycles = bench::cyclesArg(argc, argv, 20000);
+
+  std::printf("== Ablation A: merge policy (epsilon_rel / alpha sweep) ==\n\n");
+  core::Table table({"IP", "epsilon_rel", "alpha", "States", "Trans.",
+                     "train MRE", "unseen MRE"});
+  for (const ip::IpKind kind : {ip::IpKind::Ram, ip::IpKind::Aes}) {
+    for (const double eps : {0.005, 0.03, 0.15}) {
+      for (const double alpha : {1e-8, 1e-4, 1e-2}) {
+        core::FlowConfig cfg;
+        cfg.merge.epsilon_rel = eps;
+        cfg.merge.alpha = alpha;
+        const bench::FlowRun run = bench::trainFlow(
+            kind, ip::TestsetMode::Short, ip::shortTSPlan(kind), cfg);
+        const double train_mre = bench::trainingMre(*run.flow);
+        const bench::EvalResult eval = bench::evaluateOn(
+            *run.flow, kind, ip::TestsetMode::Long, eval_cycles, 0xAB1A);
+        table.addRow({ip::ipName(kind), common::formatDouble(eps, 3),
+                      common::formatDouble(alpha, 8),
+                      std::to_string(run.report.states),
+                      std::to_string(run.report.transitions),
+                      common::formatDouble(100.0 * train_mre, 2) + " %",
+                      common::formatDouble(100.0 * eval.mre, 2) + " %"});
+      }
+    }
+    table.addSeparator();
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation B: regression refinement on/off (DESIGN.md experiment index).
+//
+// The paper replaces the constant mu of data-dependent states with a
+// linear function of the Hamming distance of consecutive input values
+// (Sec. IV). This bench quantifies the contribution: MRE per IP with the
+// refinement enabled vs disabled. Expected shape: a large win for RAM
+// (strongly Hamming-correlated), a moderate one for MultSum, little
+// effect on AES, and none for Camellia (no state passes the correlation
+// precondition — exactly why its MRE stays high).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "core/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psmgen;
+  const std::size_t eval_cycles = bench::cyclesArg(argc, argv, 20000);
+
+  std::printf("== Ablation B: Hamming-distance regression refinement ==\n\n");
+  core::Table table({"IP", "Refined states", "MRE (refined)",
+                     "MRE (constant mu)", "Improvement"});
+  for (const ip::IpKind kind : ip::kAllIps) {
+    core::FlowConfig with;
+    const bench::FlowRun run_with =
+        bench::trainFlow(kind, ip::TestsetMode::Short, ip::shortTSPlan(kind),
+                         with);
+    core::FlowConfig without;
+    without.apply_refine = false;
+    const bench::FlowRun run_without = bench::trainFlow(
+        kind, ip::TestsetMode::Short, ip::shortTSPlan(kind), without);
+
+    const bench::EvalResult e_with = bench::evaluateOn(
+        *run_with.flow, kind, ip::TestsetMode::Long, eval_cycles, 0xAB1B);
+    const bench::EvalResult e_without = bench::evaluateOn(
+        *run_without.flow, kind, ip::TestsetMode::Long, eval_cycles, 0xAB1B);
+    const double improvement =
+        e_without.mre > 0.0
+            ? 100.0 * (e_without.mre - e_with.mre) / e_without.mre
+            : 0.0;
+    table.addRow({ip::ipName(kind),
+                  std::to_string(run_with.report.refined_states),
+                  common::formatDouble(100.0 * e_with.mre, 2) + " %",
+                  common::formatDouble(100.0 * e_without.mre, 2) + " %",
+                  common::formatDouble(improvement, 1) + " %"});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+#pragma once
+// Shared support for the psmgen benchmark harness.
+//
+// Each bench binary reproduces one table of the paper's evaluation
+// (Sec. VI). The harness prints our measured values next to the values
+// reported in the paper; absolute numbers differ (our gate-level power
+// estimator is a surrogate for PrimeTime PX and our machines differ) but
+// the qualitative shape must hold — see EXPERIMENTS.md.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "ip/ip_factory.hpp"
+#include "power/gate_estimator.hpp"
+
+namespace psmgen::bench {
+
+/// One characterization run: flow trained on a testset, with timings.
+struct FlowRun {
+  std::unique_ptr<core::CharacterizationFlow> flow;
+  core::BuildReport report;
+  double px_seconds = 0.0;      ///< reference power-trace generation time
+  std::size_t total_cycles = 0;
+};
+
+/// Trains a flow on the given testset plan (reference power traces come
+/// from the gate-level surrogate).
+FlowRun trainFlow(ip::IpKind kind, ip::TestsetMode mode,
+                  const std::vector<ip::TraceSpec>& plan,
+                  const core::FlowConfig& config = {});
+
+/// Self-evaluation MRE: simulates the PSMs on every training trace and
+/// compares against its reference power (the paper's Table II metric).
+double trainingMre(const core::CharacterizationFlow& flow);
+
+/// Evaluation of PSMs against an independently generated testset.
+struct EvalResult {
+  double mre = 0.0;
+  double wsp_percent = 0.0;
+  std::size_t wrong = 0;
+  std::size_t predictions = 0;
+  std::size_t unexpected = 0;
+  std::size_t lost = 0;
+};
+
+EvalResult evaluateOn(const core::CharacterizationFlow& flow, ip::IpKind kind,
+                      ip::TestsetMode mode, std::size_t cycles,
+                      std::uint64_t seed);
+
+/// Total cycles of a testset plan.
+std::size_t planCycles(const std::vector<ip::TraceSpec>& plan);
+
+/// Reads a "--cycles N" style override from argv; returns fallback if
+/// absent or malformed.
+std::size_t cyclesArg(int argc, char** argv, std::size_t fallback);
+
+}  // namespace psmgen::bench

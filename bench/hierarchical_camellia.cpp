@@ -1,0 +1,95 @@
+// Extension bench: hierarchical PSMs for Camellia (the paper's stated
+// future work, Sec. VII: "a power model based on hierarchical PSMs that
+// distinguishes among IP subcomponents" to mitigate the Camellia
+// limitation).
+//
+// The gate-level surrogate is run in partitioned mode, producing one
+// reference power trace per subcomponent (Feistel datapath, key-schedule
+// pipeline, FL unit, rest). One PSM set is generated per subcomponent
+// from the same functional traces. The hierarchical model then:
+//   - estimates total power as the sum of subcomponent estimates,
+//   - *attributes* power and model error per subcomponent, localizing
+//     the port-invisible behaviour to the glitch-heavy datapath blocks
+//     while the control/"rest" partition is modelled accurately.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "core/hierarchy.hpp"
+#include "core/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psmgen;
+  const std::size_t eval_cycles = bench::cyclesArg(argc, argv, 30000);
+
+  std::printf("== Extension: hierarchical PSMs for Camellia ==\n\n");
+
+  const std::vector<power::GateLevelEstimator::Partition> partitions = {
+      {"feistel", {"d1", "d2"}},
+      {"key_schedule", {"ks_"}},
+      {"fl_unit", {"fl_unit"}},
+      {"output", {"out_reg"}},
+  };
+
+  auto device = ip::makeDevice(ip::IpKind::Camellia);
+  power::GateLevelEstimator estimator(
+      *device, ip::powerConfig(ip::IpKind::Camellia));
+
+  core::HierarchicalFlow hier;
+  core::CharacterizationFlow flat;
+  for (const ip::TraceSpec& spec : ip::shortTSPlan(ip::IpKind::Camellia)) {
+    auto tb = ip::makeTestbench(ip::IpKind::Camellia, ip::TestsetMode::Short,
+                                spec.seed);
+    auto part = estimator.runPartitioned(*tb, spec.cycles, partitions);
+    hier.addTrainingTrace(part.functional, part.power, part.names);
+    // The flat reference model trains on the summed power.
+    trace::PowerTrace total(part.power.front().params());
+    for (std::size_t t = 0; t < part.functional.length(); ++t) {
+      double w = 0.0;
+      for (const auto& p : part.power) w += p.at(t);
+      total.append(w);
+    }
+    flat.addTrainingTrace(part.functional, total);
+  }
+  const auto reports = hier.build();
+  flat.build();
+
+  // --- evaluation on an unseen workload ---------------------------------
+  auto tb = ip::makeTestbench(ip::IpKind::Camellia, ip::TestsetMode::Long,
+                              0x41E5);
+  auto eval = estimator.runPartitioned(*tb, eval_cycles, partitions);
+  const auto acc = hier.evaluate(eval.functional, eval.power);
+  trace::PowerTrace eval_total(eval.power.front().params());
+  for (std::size_t t = 0; t < eval.functional.length(); ++t) {
+    double w = 0.0;
+    for (const auto& p : eval.power) w += p.at(t);
+    eval_total.append(w);
+  }
+  const core::SimResult flat_sim = flat.estimate(eval.functional);
+  const double flat_mre =
+      trace::meanRelativeError(flat_sim.estimate, eval_total.samples());
+
+  core::Table table({"Subcomponent", "States", "Power share", "MRE"});
+  for (std::size_t i = 0; i < hier.componentCount(); ++i) {
+    table.addRow({hier.componentName(i), std::to_string(reports[i].states),
+                  common::formatDouble(100.0 * acc.power_share[i], 1) + " %",
+                  common::formatDouble(100.0 * acc.component_mre[i], 2) +
+                      " %"});
+  }
+  table.addSeparator();
+  table.addRow({"hierarchical total", "-", "100.0 %",
+                common::formatDouble(100.0 * acc.total_mre, 2) + " %"});
+  table.addRow({"flat PSM (paper)", "-", "100.0 %",
+                common::formatDouble(100.0 * flat_mre, 2) + " %"});
+  table.print(std::cout);
+
+  std::printf(
+      "\nThe hierarchy localizes the inaccuracy: the control-dominated\n"
+      "partitions are modelled tightly while the glitch-heavy datapath\n"
+      "blocks carry the error — the diagnostic the paper's future work\n"
+      "asks for. (Total accuracy only improves once internal signals are\n"
+      "observable; from the ports alone the datapath stays opaque.)\n");
+  return 0;
+}

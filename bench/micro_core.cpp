@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) of the core algorithmic kernels:
+// atomic-proposition evaluation, signature interning, XU-automaton
+// mining, PSM-simulator stepping, Welch's t-test, HMM filtering, and
+// BitVector Hamming distance. These track the per-cycle costs behind the
+// Table II/III timing columns.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/flow.hpp"
+#include "core/generator.hpp"
+#include "core/xu_automaton.hpp"
+#include "ip/ip_factory.hpp"
+#include "power/gate_estimator.hpp"
+#include "stats/ttest.hpp"
+
+namespace {
+
+using namespace psmgen;
+
+/// A trained RAM flow plus an evaluation trace shared across benchmarks.
+struct RamFixture {
+  core::CharacterizationFlow flow;
+  trace::FunctionalTrace eval;
+
+  RamFixture() {
+    auto device = ip::makeDevice(ip::IpKind::Ram);
+    power::GateLevelEstimator est(*device, ip::powerConfig(ip::IpKind::Ram));
+    for (const auto& spec : ip::shortTSPlan(ip::IpKind::Ram)) {
+      auto tb = ip::makeTestbench(ip::IpKind::Ram, ip::TestsetMode::Short,
+                                  spec.seed);
+      auto pair = est.run(*tb, spec.cycles);
+      flow.addTrainingTrace(std::move(pair.functional), std::move(pair.power));
+    }
+    flow.build();
+    auto tb = ip::makeTestbench(ip::IpKind::Ram, ip::TestsetMode::Long, 99);
+    eval = est.run(*tb, 4096).functional;
+  }
+};
+
+RamFixture& fixture() {
+  static RamFixture f;
+  return f;
+}
+
+void BM_HammingDistance128(benchmark::State& state) {
+  common::Rng rng(7);
+  const common::BitVector a = rng.bits(128);
+  const common::BitVector b = rng.bits(128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(common::BitVector::hammingDistance(a, b));
+  }
+}
+BENCHMARK(BM_HammingDistance128);
+
+void BM_PropositionMatch(benchmark::State& state) {
+  RamFixture& f = fixture();
+  std::size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.flow.domain().findRow(f.eval.step(t)));
+    t = (t + 1) % f.eval.length();
+  }
+}
+BENCHMARK(BM_PropositionMatch);
+
+void BM_XuAutomatonMining(benchmark::State& state) {
+  RamFixture& f = fixture();
+  core::PropositionDomain domain = f.flow.domain();
+  const core::PropositionTrace gamma =
+      core::AssertionMiner::tracePropositions(domain, f.eval);
+  for (auto _ : state) {
+    core::XuAutomaton xu(gamma);
+    std::size_t count = 0;
+    while (xu.next()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(gamma.length()));
+}
+BENCHMARK(BM_XuAutomatonMining);
+
+void BM_PsmSimulatorStep(benchmark::State& state) {
+  RamFixture& f = fixture();
+  auto session = f.flow.simulator().startSession();
+  std::size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.step(f.eval.step(t)));
+    t = (t + 1) % f.eval.length();
+  }
+}
+BENCHMARK(BM_PsmSimulatorStep);
+
+void BM_GateLevelCycle(benchmark::State& state) {
+  auto device = ip::makeDevice(ip::IpKind::Ram);
+  power::GateLevelEstimator est(*device, ip::powerConfig(ip::IpKind::Ram));
+  auto tb = ip::makeTestbench(ip::IpKind::Ram, ip::TestsetMode::Long, 5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tb->restart();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(est.runPowerOnly(*tb, 256));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_GateLevelCycle);
+
+void BM_WelchTTest(benchmark::State& state) {
+  const stats::Summary a{1.00, 0.05, 4096};
+  const stats::Summary b{1.01, 0.06, 2048};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::welchTTest(a, b));
+  }
+}
+BENCHMARK(BM_WelchTTest);
+
+void BM_HmmFilterStep(benchmark::State& state) {
+  RamFixture& f = fixture();
+  const core::Hmm& hmm = f.flow.simulator().hmm();
+  core::Hmm::Filter filter(hmm);
+  core::EventId e = 0;
+  for (auto _ : state) {
+    filter.step(e);
+    e = static_cast<core::EventId>((e + 1) % hmm.eventCount());
+    benchmark::DoNotOptimize(filter.belief());
+  }
+}
+BENCHMARK(BM_HmmFilterStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

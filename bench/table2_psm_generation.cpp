@@ -1,0 +1,99 @@
+// Table II reproduction: characteristics of the generated PSMs.
+//
+// Above the separator: PSMs generated from the functional-verification
+// testsets (short-TS, same total lengths as the paper: RAM 34130,
+// MultSum 12002, AES 16504, Camellia 78004 instants). Below: PSMs from
+// the long randomized testsets (500000 instants, override with
+// --cycles N). Columns follow the paper: testset length, reference
+// power-trace generation time (PrimeTime-PX surrogate), PSM generation
+// time, states, transitions, and the MRE of the PSM estimate against the
+// reference power of the same testset.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+struct PaperRow {
+  std::size_t ts;
+  double px, gen;
+  std::size_t states, trans;
+  double mre;
+};
+
+PaperRow paperShort(psmgen::ip::IpKind kind) {
+  using psmgen::ip::IpKind;
+  switch (kind) {
+    case IpKind::Ram: return {34130, 169.0, 1.2, 9, 18, 0.30};
+    case IpKind::MultSum: return {12002, 19.5, 0.6, 2, 2, 4.03};
+    case IpKind::Aes: return {16504, 144.8, 0.7, 5, 7, 3.45};
+    case IpKind::Camellia: return {78004, 74.5, 5.7, 5, 10, 32.66};
+  }
+  return {};
+}
+
+PaperRow paperLong(psmgen::ip::IpKind kind) {
+  using psmgen::ip::IpKind;
+  switch (kind) {
+    case IpKind::Ram: return {500000, 5316.7, 20.1, 9, 18, 0.29};
+    case IpKind::MultSum: return {500000, 750.1, 22.6, 3, 4, 3.27};
+    case IpKind::Aes: return {500000, 3626.0, 115.6, 13, 29, 3.09};
+    case IpKind::Camellia: return {500000, 2699.0, 221.2, 5, 11, 32.64};
+  }
+  return {};
+}
+
+void addBlock(psmgen::core::Table& table, psmgen::ip::TestsetMode mode,
+              std::size_t long_cycles) {
+  using namespace psmgen;
+  for (const ip::IpKind kind : ip::kAllIps) {
+    const auto plan = mode == ip::TestsetMode::Short
+                          ? ip::shortTSPlan(kind)
+                          : ip::longTSPlan(kind, long_cycles);
+    const bench::FlowRun run = bench::trainFlow(kind, mode, plan);
+    const double mre = bench::trainingMre(*run.flow);
+    const PaperRow p = mode == ip::TestsetMode::Short ? paperShort(kind)
+                                                      : paperLong(kind);
+    table.addRow({ip::ipName(kind), std::to_string(run.total_cycles),
+                  common::formatDouble(run.px_seconds, 2),
+                  common::formatDouble(run.report.generation_seconds, 2),
+                  std::to_string(run.report.states),
+                  std::to_string(run.report.transitions),
+                  common::formatDouble(100.0 * mre, 2) + " %",
+                  std::to_string(p.states), std::to_string(p.trans),
+                  common::formatDouble(p.mre, 2) + " %"});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psmgen;
+  const std::size_t long_cycles = bench::cyclesArg(argc, argv, 500000);
+
+  std::printf("== Table II: characteristics of the generated PSMs ==\n");
+  std::printf("(top block: short-TS / verification testsets; bottom block: "
+              "long-TS, %zu instants)\n\n", long_cycles);
+
+  core::Table table({"IP", "TS", "PX (s)", "PSMs gen. (s)", "States",
+                     "Trans.", "MRE", "paper:States", "paper:Trans.",
+                     "paper:MRE"});
+  addBlock(table, ip::TestsetMode::Short, long_cycles);
+  table.addSeparator();
+  addBlock(table, ip::TestsetMode::Long, long_cycles);
+  table.print(std::cout);
+
+  std::printf(
+      "\nShape check (paper Sec. VI): RAM has the lowest MRE (strong\n"
+      "Hamming-distance correlation, regression refinement effective);\n"
+      "MultSum is a bit higher (power correlates with PIs over a window\n"
+      "wider than one cycle); AES is low (well-correlated subcomponents);\n"
+      "Camellia is an order of magnitude worse (subcomponent activity\n"
+      "poorly correlated with the ports). Long-TS MREs are close to their\n"
+      "short-TS counterparts, confirming verification testbenches suffice.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Black-box characterization walk-through on the Camellia core: the
+// methodology needs nothing but I/O traces, so it applies to IPs whose
+// internals are invisible. The example runs the full pipeline, prints the
+// mined atoms/propositions and the PSM, exports Graphviz DOT and a
+// generated SystemC power-monitor module, and demonstrates the paper's
+// Camellia finding: the ports cannot explain the internal activity, so
+// the MRE stays high and no regression refinement is possible.
+//
+// Run: ./build/examples/blackbox_characterization [out_dir]
+// Writes: <out_dir>/camellia_psm.dot, <out_dir>/camellia_psm_sc.cpp,
+//         <out_dir>/camellia_short.vcd
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/codegen.hpp"
+#include "core/dot_export.hpp"
+#include "core/flow.hpp"
+#include "ip/ip_factory.hpp"
+#include "power/gate_estimator.hpp"
+#include "trace/vcd_writer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psmgen;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  // --- 1. training traces from the black-box interface ------------------
+  auto device = ip::makeDevice(ip::IpKind::Camellia);
+  power::GateLevelEstimator estimator(*device,
+                                      ip::powerConfig(ip::IpKind::Camellia));
+  core::CharacterizationFlow flow;
+  for (const ip::TraceSpec& spec : ip::shortTSPlan(ip::IpKind::Camellia)) {
+    auto tb = ip::makeTestbench(ip::IpKind::Camellia, ip::TestsetMode::Short,
+                                spec.seed);
+    auto pair = estimator.run(*tb, spec.cycles);
+    if (flow.trainingFunctional().empty()) {
+      trace::saveVcd(out_dir + "/camellia_short.vcd",
+                     pair.functional.subtrace(0, 500), "camellia");
+    }
+    flow.addTrainingTrace(std::move(pair.functional), std::move(pair.power));
+  }
+
+  // --- 2. mine + generate ------------------------------------------------
+  const core::BuildReport report = flow.build();
+  const core::PropositionDomain& domain = flow.domain();
+  std::printf("mined %zu atomic propositions:\n", domain.atoms().size());
+  for (const auto& atom : domain.atoms()) {
+    std::printf("  %s\n", atom.toString(domain.variables()).c_str());
+  }
+  std::printf("\n%zu propositions, %zu raw states -> %zu PSM states\n",
+              report.propositions, report.raw_states, report.states);
+  for (const auto& s : flow.psm().states()) {
+    std::printf("  s%-2d mu=%10.3e W sigma=%9.3e n=%-6zu %s\n", s.id,
+                s.power.mean, s.power.stddev, s.power.n,
+                toString(s.assertion, domain).substr(0, 60).c_str());
+  }
+
+  // --- 3. artifacts -------------------------------------------------------
+  {
+    std::ofstream dot(out_dir + "/camellia_psm.dot");
+    core::writeDot(dot, flow.psm(), domain, "camellia_psm");
+  }
+  {
+    core::CodegenOptions opt;
+    opt.module_name = "camellia_power_monitor";
+    std::ofstream sc(out_dir + "/camellia_psm_sc.cpp");
+    sc << core::generateModel(flow.psm(), domain, opt);
+  }
+  std::printf("\nwrote %s/camellia_psm.dot, camellia_psm_sc.cpp, "
+              "camellia_short.vcd\n", out_dir.c_str());
+
+  // --- 4. the Camellia finding -------------------------------------------
+  auto tb = ip::makeTestbench(ip::IpKind::Camellia, ip::TestsetMode::Long,
+                              0xB0B);
+  auto eval = estimator.run(*tb, 30000);
+  const core::SimResult sim = flow.estimate(eval.functional);
+  const double mre =
+      trace::meanRelativeError(sim.estimate, eval.power.samples());
+  std::printf("\nunseen workload: MRE = %.1f %% with %zu refined states —\n"
+              "Camellia's sub-block activity (key-schedule pipeline, FL\n"
+              "layers, glitch-heavy Feistel cones) is invisible at the\n"
+              "ports, so no Hamming regression passes the correlation\n"
+              "precondition and the constant-per-state model misses the\n"
+              "data-dependent swing, exactly as the paper reports.\n",
+              100.0 * mre, report.refined_states);
+  return 0;
+}

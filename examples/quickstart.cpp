@@ -1,0 +1,68 @@
+// Quickstart: characterize the 1KB RAM IP and estimate its power.
+//
+//   1. Simulate the RAM with its verification testbench while the
+//      gate-level power surrogate (PrimeTime-PX stand-in) records the
+//      reference power trace.
+//   2. Feed the (functional, power) pairs to the CharacterizationFlow:
+//      assertions are mined, the PSMs are generated, simplified, joined,
+//      refined, and wrapped into an HMM-backed simulator.
+//   3. Estimate the power of an unseen workload with the PSM alone and
+//      compare against the reference (MRE).
+//
+// Build: cmake -B build -G Ninja && cmake --build build
+// Run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/dot_export.hpp"
+#include "core/flow.hpp"
+#include "ip/ip_factory.hpp"
+#include "power/gate_estimator.hpp"
+
+int main() {
+  using namespace psmgen;
+
+  // --- 1. Training traces from the RAM's verification testbench --------
+  auto device = ip::makeDevice(ip::IpKind::Ram);
+  power::GateLevelEstimator estimator(*device, ip::powerConfig(ip::IpKind::Ram));
+
+  core::CharacterizationFlow flow;
+  std::size_t training_cycles = 0;
+  for (const ip::TraceSpec& spec : ip::shortTSPlan(ip::IpKind::Ram)) {
+    auto tb = ip::makeTestbench(ip::IpKind::Ram, ip::TestsetMode::Short,
+                                spec.seed);
+    auto pair = estimator.run(*tb, spec.cycles);
+    training_cycles += spec.cycles;
+    flow.addTrainingTrace(std::move(pair.functional), std::move(pair.power));
+  }
+
+  // --- 2. Build the PSM -------------------------------------------------
+  const core::BuildReport report = flow.build();
+  std::printf("trained on %zu cycles\n", training_cycles);
+  std::printf("mined %zu atoms, %zu propositions\n", report.atoms,
+              report.propositions);
+  std::printf("PSM: %zu states, %zu transitions (from %zu raw states)\n",
+              report.states, report.transitions, report.raw_states);
+  std::printf("%zu states refined with Hamming-distance regression\n",
+              report.refined_states);
+  std::printf("generation time: %.3f s\n", report.generation_seconds);
+
+  for (const auto& s : flow.psm().states()) {
+    std::printf("  s%-2d mu=%8.6f W  sigma=%8.6f  n=%-7zu %s\n", s.id,
+                s.power.mean, s.power.stddev, s.power.n,
+                s.regression ? "[regression]" : "");
+  }
+
+  // --- 3. Estimate an unseen workload -----------------------------------
+  auto tb = ip::makeTestbench(ip::IpKind::Ram, ip::TestsetMode::Long, 4242);
+  auto reference = estimator.run(*tb, 20000);
+  const core::SimResult sim = flow.estimate(reference.functional);
+  const double mre = trace::meanRelativeError(
+      sim.estimate, reference.power.samples());
+  std::printf("\nunseen workload (20000 cycles):\n");
+  std::printf("  MRE vs gate-level reference: %.2f %%\n", 100.0 * mre);
+  std::printf("  wrong-state predictions:     %.2f %% (%zu / %zu)\n",
+              sim.wspPercent(), sim.wrong_predictions, sim.predictions);
+  std::printf("  desynchronized instants:     %zu\n", sim.lost_instants);
+  return 0;
+}

@@ -1,0 +1,48 @@
+#pragma once
+// Deterministic pseudo-random number generation for stimulus and noise.
+//
+// Every experiment in the benchmark harness must be exactly reproducible,
+// so all randomness flows through this xoshiro256** generator with an
+// explicit seed (never std::random_device). The splitMix64 seeding stage
+// guarantees a well-mixed state even for small consecutive seeds.
+
+#include <cstdint>
+
+#include "common/bitvector.hpp"
+
+namespace psmgen::common {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) (bound must be > 0).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniformReal();
+
+  /// Standard normal via Box-Muller.
+  double gaussian();
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Bernoulli draw.
+  bool chance(double probability);
+
+  /// Uniformly random bit vector of the given width.
+  BitVector bits(unsigned width);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace psmgen::common

@@ -1,0 +1,29 @@
+#pragma once
+// Small string helpers shared by trace I/O, reporting, and code generation.
+
+#include <string>
+#include <vector>
+
+namespace psmgen::common {
+
+/// Splits `s` on `delim`; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string trim(const std::string& s);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `s` starts with `prefix`.
+bool startsWith(const std::string& s, const std::string& prefix);
+
+/// Fixed-precision decimal rendering (printf "%.*f").
+std::string formatDouble(double v, int precision);
+
+/// Left-pads with spaces to at least `width` characters.
+std::string padLeft(const std::string& s, std::size_t width);
+/// Right-pads with spaces to at least `width` characters.
+std::string padRight(const std::string& s, std::size_t width);
+
+}  // namespace psmgen::common

@@ -1,0 +1,35 @@
+#pragma once
+// SystemC model generation (paper Sec. VI: "an automatic tool that
+// generates a SystemC model of the extracted PSMs").
+//
+// Emits a self-contained C++17/SystemC-style source file implementing the
+// combined PSM as a clocked power-monitor module: the atom table, the
+// proposition signatures, state assertions, the transition/A/B/pi tables
+// of the HMM, and a step() method that consumes the IP's port values each
+// cycle and produces the power estimate. The generated text targets plain
+// SystemC (SC_MODULE / sc_in / SC_METHOD); a PLAIN mode emits the same
+// model without the SystemC wrapper so it can be compiled stand-alone.
+
+#include <string>
+
+#include "core/hmm.hpp"
+#include "core/proposition.hpp"
+#include "core/psm.hpp"
+
+namespace psmgen::core {
+
+enum class CodegenStyle {
+  SystemC,  ///< SC_MODULE wrapper with sc_in ports
+  Plain,    ///< plain C++ class with a step(values) method
+};
+
+struct CodegenOptions {
+  std::string module_name = "psm_power_model";
+  CodegenStyle style = CodegenStyle::SystemC;
+};
+
+/// Renders the module source text for the given PSM.
+std::string generateModel(const Psm& psm, const PropositionDomain& domain,
+                          const CodegenOptions& options = {});
+
+}  // namespace psmgen::core

@@ -1,0 +1,41 @@
+#include "core/dot_export.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace psmgen::core {
+
+void writeDot(std::ostream& os, const Psm& psm,
+              const PropositionDomain& domain, const std::string& name) {
+  os << "digraph " << name << " {\n";
+  os << "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for (const auto& s : psm.states()) {
+    os << "  s" << s.id << " [label=\"s" << s.id << "\\n"
+       << toString(s.assertion, domain) << "\\nmu="
+       << common::formatDouble(s.power.mean, 4)
+       << " sigma=" << common::formatDouble(s.power.stddev, 4)
+       << " n=" << s.power.n;
+    if (s.regression) {
+      os << "\\nomega=" << common::formatDouble(s.regression->intercept, 4)
+         << "+" << common::formatDouble(s.regression->slope, 4) << "*HD";
+    }
+    os << "\"";
+    if (s.initial_count > 0) os << ", penwidth=2";
+    os << "];\n";
+  }
+  for (const auto& t : psm.transitions()) {
+    os << "  s" << t.from << " -> s" << t.to << " [label=\""
+       << domain.shortName(t.enabling) << "\"];\n";
+  }
+  os << "}\n";
+}
+
+std::string toDot(const Psm& psm, const PropositionDomain& domain,
+                  const std::string& name) {
+  std::ostringstream os;
+  writeDot(os, psm, domain, name);
+  return os.str();
+}
+
+}  // namespace psmgen::core

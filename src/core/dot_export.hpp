@@ -1,0 +1,21 @@
+#pragma once
+// Graphviz DOT export of PSMs for inspection/documentation.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/proposition.hpp"
+#include "core/psm.hpp"
+
+namespace psmgen::core {
+
+/// Writes a DOT digraph: states are labelled with their assertion, mean
+/// power and sample count; transitions with their enabling proposition.
+void writeDot(std::ostream& os, const Psm& psm,
+              const PropositionDomain& domain,
+              const std::string& name = "psm");
+
+std::string toDot(const Psm& psm, const PropositionDomain& domain,
+                  const std::string& name = "psm");
+
+}  // namespace psmgen::core

@@ -1,0 +1,115 @@
+#include "core/flow.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/generator.hpp"
+
+namespace psmgen::core {
+
+CharacterizationFlow::CharacterizationFlow(FlowConfig config)
+    : config_(config) {}
+
+void CharacterizationFlow::addTrainingTrace(trace::FunctionalTrace functional,
+                                            trace::PowerTrace power) {
+  if (functional.empty()) {
+    throw std::invalid_argument("Flow: empty functional trace");
+  }
+  if (power.length() < functional.length()) {
+    throw std::invalid_argument("Flow: power trace shorter than functional");
+  }
+  if (!functional_.empty() &&
+      !(functional.variables() == functional_.front().variables())) {
+    throw std::invalid_argument("Flow: variable set mismatch across traces");
+  }
+  functional_.push_back(std::move(functional));
+  power_.push_back(std::move(power));
+}
+
+BuildReport CharacterizationFlow::build() {
+  if (functional_.empty()) {
+    throw std::logic_error("Flow: build() without training traces");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  BuildReport report;
+
+  // III-A: mine the shared proposition domain.
+  AssertionMiner miner(config_.miner);
+  std::vector<const trace::FunctionalTrace*> views;
+  views.reserve(functional_.size());
+  for (const auto& f : functional_) views.push_back(&f);
+  domain_ = std::make_unique<PropositionDomain>(miner.buildDomain(views));
+  report.atoms = domain_->atoms().size();
+
+  // III-B: one chain PSM per training pair.
+  raw_psms_.clear();
+  for (std::size_t i = 0; i < functional_.size(); ++i) {
+    const PropositionTrace gamma =
+        AssertionMiner::tracePropositions(*domain_, functional_[i]);
+    raw_psms_.push_back(
+        PsmGenerator::generate(gamma, power_[i], static_cast<int>(i)));
+    report.raw_states += raw_psms_.back().stateCount();
+  }
+  report.propositions = domain_->size();
+
+  // IV: simplify each chain, then join the set.
+  std::vector<Psm> simplified = raw_psms_;
+  if (config_.apply_simplify) {
+    for (auto& p : simplified) {
+      report.simplified_pairs += simplify(p, config_.merge);
+    }
+  }
+  combined_ = config_.apply_join
+                  ? join(simplified, config_.merge)
+                  : disjointUnion(simplified);
+
+  // IV: regression refinement of data-dependent states.
+  if (config_.apply_refine) {
+    const RefineReport rr = refineDataDependentStates(
+        combined_, functional_, power_, config_.refine);
+    report.refined_states = rr.refined;
+  }
+
+  // V: HMM-backed simulator.
+  simulator_ =
+      std::make_unique<PsmSimulator>(combined_, *domain_, config_.sim);
+
+  report.states = combined_.stateCount();
+  report.transitions = combined_.transitionCount();
+  report.generation_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+const PropositionDomain& CharacterizationFlow::domain() const {
+  if (!domain_) throw std::logic_error("Flow: not built");
+  return *domain_;
+}
+
+const Psm& CharacterizationFlow::psm() const {
+  if (!simulator_) throw std::logic_error("Flow: not built");
+  return combined_;
+}
+
+const PsmSimulator& CharacterizationFlow::simulator() const {
+  if (!simulator_) throw std::logic_error("Flow: not built");
+  return *simulator_;
+}
+
+SimResult CharacterizationFlow::estimate(
+    const trace::FunctionalTrace& trace) const {
+  return simulator().simulate(trace);
+}
+
+double CharacterizationFlow::evaluateMre(
+    const trace::FunctionalTrace& trace,
+    const trace::PowerTrace& reference) const {
+  const SimResult r = estimate(trace);
+  std::vector<double> ref(reference.samples().begin(),
+                          reference.samples().begin() +
+                              static_cast<std::ptrdiff_t>(r.estimate.size()));
+  return trace::meanRelativeError(r.estimate, ref);
+}
+
+}  // namespace psmgen::core

@@ -1,0 +1,48 @@
+#include "core/generator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/xu_automaton.hpp"
+#include "stats/descriptive.hpp"
+
+namespace psmgen::core {
+
+PowerAttr powerAttributes(const trace::PowerTrace& delta, std::size_t start,
+                          std::size_t stop) {
+  stats::RunningStats rs;
+  for (std::size_t t = start; t <= stop; ++t) rs.add(delta.at(t));
+  return PowerAttr::single(rs.mean(), rs.stddev(), rs.count());
+}
+
+Psm PsmGenerator::generate(const PropositionTrace& gamma,
+                           const trace::PowerTrace& delta, int trace_id) {
+  if (delta.length() < gamma.length()) {
+    throw std::invalid_argument(
+        "PsmGenerator: power trace shorter than proposition trace");
+  }
+  Psm psm;
+  XuAutomaton xu(gamma);
+  StateId prev = kNoState;
+  PropId prev_exit = kNoProp;
+  while (auto mined = xu.next()) {
+    PowerState s;
+    s.assertion.alts.push_back(PatternSeq{mined->pattern});
+    s.power = powerAttributes(delta, mined->start, mined->stop);
+    s.intervals.push_back({mined->start, mined->stop, trace_id});
+    const StateId id = psm.addState(std::move(s));
+    if (prev == kNoState) {
+      psm.state(id).initial_count = 1;
+      psm.addInitial(id);
+    } else {
+      // The enabling function is f[1] at the instant the previous pattern
+      // was recognised, i.e. its exit proposition.
+      psm.addTransition({prev, id, prev_exit});
+    }
+    prev = id;
+    prev_exit = mined->pattern.q;
+  }
+  return psm;
+}
+
+}  // namespace psmgen::core

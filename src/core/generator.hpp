@@ -1,0 +1,31 @@
+#pragma once
+// PSMGenerator (paper Fig. 4): walks a proposition trace with the XU
+// automaton; every recognised assertion becomes a power state whose
+// attributes <mu, sigma, n> come from the reference power trace over the
+// assertion's interval [start, stop]; consecutive states are connected by
+// a transition whose enabling function is the exit proposition of the
+// previous pattern (the value of f[1] when the pattern was recognised).
+// The result is a chain-shaped PSM with one initial state.
+
+#include "core/proposition.hpp"
+#include "core/psm.hpp"
+#include "trace/power_trace.hpp"
+
+namespace psmgen::core {
+
+class PsmGenerator {
+ public:
+  /// `trace_id` tags the state intervals so later stages (join, the
+  /// regression refinement) can find the right training trace.
+  /// Throws std::invalid_argument if the power trace is shorter than the
+  /// proposition trace.
+  static Psm generate(const PropositionTrace& gamma,
+                      const trace::PowerTrace& delta, int trace_id);
+};
+
+/// Power attributes over [start, stop] of a power trace
+/// (getPowerAttributes of Fig. 4).
+PowerAttr powerAttributes(const trace::PowerTrace& delta, std::size_t start,
+                          std::size_t stop);
+
+}  // namespace psmgen::core

@@ -1,0 +1,66 @@
+#pragma once
+// Hierarchical PSMs (the paper's future-work direction, Sec. VII):
+// "the automatic generation of a power model based on hierarchical PSMs
+// that distinguishes among IP subcomponents".
+//
+// One characterization flow runs per subcomponent, each trained on the
+// same functional traces but on that subcomponent's share of the
+// reference power (power::GateLevelEstimator::runPartitioned). The
+// hierarchical model estimates total power as the sum of the per-
+// subcomponent PSM estimates and — more importantly for IPs like
+// Camellia — *attributes* both power and model error to subcomponents,
+// localizing which block's behaviour the ports cannot explain.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+
+namespace psmgen::core {
+
+class HierarchicalFlow {
+ public:
+  explicit HierarchicalFlow(FlowConfig config = {});
+
+  /// Registers one training observation: a functional trace plus one
+  /// power trace per subcomponent (the partition layout must be identical
+  /// across calls; names are taken from the first call).
+  void addTrainingTrace(const trace::FunctionalTrace& functional,
+                        const std::vector<trace::PowerTrace>& per_component,
+                        const std::vector<std::string>& names);
+
+  /// Builds every per-subcomponent flow; returns one report each.
+  std::vector<BuildReport> build();
+
+  std::size_t componentCount() const { return flows_.size(); }
+  const std::string& componentName(std::size_t i) const { return names_.at(i); }
+  const CharacterizationFlow& component(std::size_t i) const {
+    return *flows_.at(i);
+  }
+
+  struct HierarchicalEstimate {
+    std::vector<double> total;                ///< summed per-instant watts
+    std::vector<SimResult> per_component;     ///< component estimates
+  };
+
+  /// Simulates every subcomponent PSM on the trace and sums the outputs.
+  HierarchicalEstimate estimate(const trace::FunctionalTrace& trace) const;
+
+  /// Per-component and total MRE against per-component references.
+  struct Accuracy {
+    double total_mre = 0.0;
+    std::vector<double> component_mre;
+    /// Fraction of total mean power carried by each component.
+    std::vector<double> power_share;
+  };
+  Accuracy evaluate(const trace::FunctionalTrace& trace,
+                    const std::vector<trace::PowerTrace>& reference) const;
+
+ private:
+  FlowConfig config_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<CharacterizationFlow>> flows_;
+};
+
+}  // namespace psmgen::core

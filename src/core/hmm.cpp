@@ -1,0 +1,170 @@
+#include "core/hmm.hpp"
+
+#include <algorithm>
+
+namespace psmgen::core {
+
+namespace {
+bool sameSeq(const PatternSeq& a, const PatternSeq& b) { return a == b; }
+}  // namespace
+
+Hmm::Hmm(const Psm& psm) : n_(psm.stateCount()) {
+  a_.assign(n_ * n_, 0.0);
+  pi_.assign(n_, 0.0);
+  b_.assign(n_, {});
+
+  // A: transition multiplicities, row-normalized.
+  for (const auto& t : psm.transitions()) {
+    a_[index(t.from, t.to)] += static_cast<double>(t.count);
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) row += a_[i * n_ + j];
+    if (row > 0.0) {
+      for (std::size_t j = 0; j < n_; ++j) a_[i * n_ + j] /= row;
+    }
+  }
+
+  // Events and B: multiplicity of each assertion within each state.
+  for (const auto& s : psm.states()) {
+    for (std::size_t alt = 0; alt < s.assertion.alts.size(); ++alt) {
+      const PatternSeq& seq = s.assertion.alts[alt];
+      const EventId e = [&]() -> EventId {
+        for (std::size_t k = 0; k < events_.size(); ++k) {
+          if (sameSeq(events_[k], seq)) return static_cast<EventId>(k);
+        }
+        events_.push_back(seq);
+        return static_cast<EventId>(events_.size() - 1);
+      }();
+      b_[static_cast<std::size_t>(s.id)][e] +=
+          static_cast<double>(s.assertion.countOf(alt));
+    }
+  }
+  for (auto& row : b_) {
+    double sum = 0.0;
+    for (const auto& [e, c] : row) sum += c;
+    if (sum > 0.0) {
+      for (auto& [e, c] : row) c /= sum;
+    }
+  }
+
+  // pi: number of traces whose PSM starts in each state.
+  double total = 0.0;
+  for (const auto& s : psm.states()) {
+    pi_[static_cast<std::size_t>(s.id)] = static_cast<double>(s.initial_count);
+    total += static_cast<double>(s.initial_count);
+  }
+  if (total > 0.0) {
+    for (auto& p : pi_) p /= total;
+  } else if (n_ > 0) {
+    std::fill(pi_.begin(), pi_.end(), 1.0 / static_cast<double>(n_));
+  }
+}
+
+EventId Hmm::eventOf(const PatternSeq& seq) const {
+  for (std::size_t k = 0; k < events_.size(); ++k) {
+    if (sameSeq(events_[k], seq)) return static_cast<EventId>(k);
+  }
+  return kNoEvent;
+}
+
+double Hmm::b(StateId j, EventId e) const {
+  const auto& row = b_.at(static_cast<std::size_t>(j));
+  const auto it = row.find(e);
+  return it == row.end() ? 0.0 : it->second;
+}
+
+Hmm::Filter::Filter(const Hmm& hmm) : hmm_(&hmm) { reset(); }
+
+void Hmm::Filter::reset() {
+  belief_ = hmm_->pi_;
+  a_penalized_ = hmm_->a_;
+}
+
+void Hmm::Filter::step(EventId event) {
+  const std::size_t n = hmm_->n_;
+  std::vector<double> next(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double pred = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      pred += belief_[i] * a_penalized_[i * n + j];
+    }
+    next[j] = pred * hmm_->b(static_cast<StateId>(j), event);
+  }
+  double sum = 0.0;
+  for (const double v : next) sum += v;
+  if (sum > 0.0) {
+    for (auto& v : next) v /= sum;
+    belief_ = std::move(next);
+  } else {
+    // The observation is impossible under the model: fall back to the
+    // observation likelihood alone (resynchronization prior).
+    double bsum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      next[j] = hmm_->b(static_cast<StateId>(j), event);
+      bsum += next[j];
+    }
+    if (bsum > 0.0) {
+      for (auto& v : next) v /= bsum;
+      belief_ = std::move(next);
+    }
+    // Otherwise keep the previous belief (event unknown everywhere).
+  }
+}
+
+void Hmm::Filter::commit(StateId s) {
+  // Blend a point mass at the committed state with the filtered belief so
+  // alternative hypotheses survive for later resynchronizations.
+  constexpr double kCommitWeight = 0.8;
+  for (std::size_t j = 0; j < belief_.size(); ++j) {
+    belief_[j] *= (1.0 - kCommitWeight);
+  }
+  belief_[static_cast<std::size_t>(s)] += kCommitWeight;
+}
+
+double Hmm::Filter::predictiveScore(StateId j, EventId event) const {
+  const std::size_t n = hmm_->n_;
+  double pred = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pred += belief_[i] * a_penalized_[i * n + static_cast<std::size_t>(j)];
+  }
+  const double obs = event == kNoEvent ? 1.0 : hmm_->b(j, event);
+  return pred * obs;
+}
+
+StateId Hmm::Filter::bestAmong(const std::vector<StateId>& candidates,
+                               EventId event) const {
+  StateId best = kNoState;
+  double best_score = -1.0;
+  for (const StateId c : candidates) {
+    const double score = predictiveScore(c, event);
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+StateId Hmm::Filter::bestInitial(const std::vector<StateId>& candidates,
+                                 EventId event) const {
+  StateId best = kNoState;
+  double best_score = -1.0;
+  for (const StateId c : candidates) {
+    const double obs = event == kNoEvent ? 1.0 : hmm_->b(c, event);
+    const double score = hmm_->pi(c) * obs;
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void Hmm::Filter::penalize(StateId i, StateId j) {
+  const std::size_t n = hmm_->n_;
+  a_penalized_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] =
+      0.0;
+}
+
+}  // namespace psmgen::core

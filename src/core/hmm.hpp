@@ -1,0 +1,93 @@
+#pragma once
+// Hidden Markov Model over a joined PSM (paper Sec. V).
+//
+// lambda = <Q, E, A, B, pi> where Q is the set of PSM states, E the set of
+// distinct characterizing assertions (pattern sequences), A is built from
+// transition multiplicities, B from the multiplicity with which the join
+// put each assertion into each state's alternative set, and pi from the
+// number of training traces whose PSM starts in each state.
+//
+// The Filter implements the paper's simulation strategy: a forward
+// "filtering" step updates the belief over hidden states from the
+// observed assertion; non-deterministic choices pick the most probable
+// candidate; when a wrong state is predicted the simulator reverts to the
+// last valid state and the offending transition probability is fixed to 0
+// for the rest of the run (penalize).
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/psm.hpp"
+
+namespace psmgen::core {
+
+using EventId = int;
+inline constexpr EventId kNoEvent = -1;
+
+class Hmm {
+ public:
+  explicit Hmm(const Psm& psm);
+
+  std::size_t stateCount() const { return n_; }
+  std::size_t eventCount() const { return events_.size(); }
+
+  /// Event id of an assertion (pattern sequence); kNoEvent if the
+  /// sequence never occurs in the PSM.
+  EventId eventOf(const PatternSeq& seq) const;
+  const PatternSeq& event(EventId id) const { return events_.at(id); }
+
+  double a(StateId i, StateId j) const { return a_[index(i, j)]; }
+  double b(StateId j, EventId e) const;
+  double pi(StateId i) const { return pi_.at(static_cast<std::size_t>(i)); }
+
+  class Filter {
+   public:
+    explicit Filter(const Hmm& hmm);
+
+    /// Restores belief = pi and clears all penalties.
+    void reset();
+
+    /// Forward filtering step given the observed assertion event.
+    void step(EventId event);
+
+    /// Collapses the belief to the state the simulator committed to
+    /// (mixed with the filtered distribution to keep alternatives alive).
+    void commit(StateId s);
+
+    /// Predictive score of moving to `j` next, given the current belief
+    /// and the penalized transition matrix.
+    double predictiveScore(StateId j, EventId event) const;
+
+    /// Most probable candidate as next state; kNoState for an empty list.
+    StateId bestAmong(const std::vector<StateId>& candidates,
+                      EventId event) const;
+
+    /// Most probable initial state given pi and the first observation.
+    StateId bestInitial(const std::vector<StateId>& candidates,
+                        EventId event) const;
+
+    /// Fixes the (penalized) probability of i -> j to 0 for this run.
+    void penalize(StateId i, StateId j);
+
+    const std::vector<double>& belief() const { return belief_; }
+
+   private:
+    const Hmm* hmm_;
+    std::vector<double> belief_;
+    std::vector<double> a_penalized_;
+  };
+
+ private:
+  std::size_t index(StateId i, StateId j) const {
+    return static_cast<std::size_t>(i) * n_ + static_cast<std::size_t>(j);
+  }
+
+  std::size_t n_ = 0;
+  std::vector<double> a_;   ///< row-normalized, row-major
+  std::vector<double> pi_;
+  std::vector<PatternSeq> events_;
+  std::vector<std::unordered_map<EventId, double>> b_;  ///< per state
+  friend class Filter;
+};
+
+}  // namespace psmgen::core

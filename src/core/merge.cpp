@@ -1,0 +1,325 @@
+#include "core/merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace psmgen::core {
+
+double MergePolicy::epsilonFor(const PowerAttr& a, const PowerAttr& b) const {
+  const double scale = std::max(std::fabs(a.mean), std::fabs(b.mean));
+  return std::max(epsilon_abs, epsilon_rel * scale);
+}
+
+bool mergeable(const PowerAttr& a, const PowerAttr& b, const MergePolicy& pol) {
+  if (a.n == 0 || b.n == 0) return false;
+  const double eps = pol.epsilonFor(a, b);
+  const double dmu = std::fabs(a.mean - b.mean);
+
+  // Span guard: veto merges whose combined interval-mean range is too
+  // wide relative to the pooled mean (anti-snowball, see MergePolicy).
+  {
+    const PowerAttr pooled = PowerAttr::merged(a, b);
+    if (pooled.span() > pol.max_span) return false;
+  }
+
+  // Case 1: two next-pattern states.
+  if (a.n == 1 && b.n == 1) return dmu < eps;
+
+  // "Low sigma" precondition for until-states.
+  if (a.n > 1 && a.cv() > pol.max_cv) return false;
+  if (b.n > 1 && b.cv() > pol.max_cv) return false;
+
+  // Designer tolerance (documented extension; see header).
+  if (dmu <= eps) return true;
+
+  if (a.n > 1 && b.n > 1) {
+    // Case 2: Welch's t-test.
+    const stats::TTestResult r = stats::welchTTest({a.mean, a.stddev, a.n},
+                                                   {b.mean, b.stddev, b.n});
+    return r.p_value > pol.alpha;
+  }
+  // Case 3: one-sample t-test of the single observation against the set.
+  const PowerAttr& pop = a.n > 1 ? a : b;
+  const double x = a.n > 1 ? b.mean : a.mean;
+  const stats::TTestResult r =
+      stats::oneSampleTTest({pop.mean, pop.stddev, pop.n}, x);
+  return r.p_value > pol.alpha;
+}
+
+namespace {
+
+/// Orders the states of a chain PSM from its initial state.
+std::vector<StateId> chainOrder(const Psm& psm) {
+  if (psm.stateCount() == 0) return {};
+  if (psm.initialStates().size() != 1 || !psm.isChain()) {
+    throw std::invalid_argument("simplify: PSM is not a single-entry chain");
+  }
+  std::vector<StateId> order;
+  StateId cur = psm.initialStates().front();
+  order.push_back(cur);
+  while (true) {
+    const auto outs = psm.transitionsFrom(cur);
+    if (outs.empty()) break;
+    cur = outs.front().to;
+    order.push_back(cur);
+    if (order.size() > psm.stateCount()) {
+      throw std::logic_error("simplify: cycle in chain PSM");
+    }
+  }
+  return order;
+}
+
+PowerState fuseSequence(const PowerState& a, const PowerState& b) {
+  if (a.assertion.alts.size() != 1 || b.assertion.alts.size() != 1) {
+    throw std::invalid_argument("simplify: states must have one alternative");
+  }
+  PowerState out;
+  out.assertion.alts.push_back(a.assertion.alts.front());
+  auto& seq = out.assertion.alts.front();
+  seq.insert(seq.end(), b.assertion.alts.front().begin(),
+             b.assertion.alts.front().end());
+  out.power = PowerAttr::merged(a.power, b.power);
+  out.intervals = a.intervals;
+  out.intervals.insert(out.intervals.end(), b.intervals.begin(),
+                       b.intervals.end());
+  out.initial_count = a.initial_count + b.initial_count;
+  return out;
+}
+
+}  // namespace
+
+std::size_t simplify(Psm& psm, const MergePolicy& pol) {
+  if (psm.stateCount() <= 1) return 0;
+  std::size_t total_fused = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<StateId> order = chainOrder(psm);
+
+    // One left-to-right pass fusing adjacent mergeable states.
+    std::vector<PowerState> fused;
+    fused.reserve(order.size());
+    fused.push_back(psm.state(order.front()));
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      const PowerState& next = psm.state(order[i]);
+      if (mergeable(fused.back().power, next.power, pol)) {
+        fused.back() = fuseSequence(fused.back(), next);
+        ++total_fused;
+        changed = true;
+      } else {
+        fused.push_back(next);
+      }
+    }
+
+    Psm rebuilt;
+    StateId prev = kNoState;
+    for (auto& s : fused) {
+      PowerState state = std::move(s);
+      const std::size_t initial_count = state.initial_count;
+      state.id = kNoState;
+      const StateId id = rebuilt.addState(std::move(state));
+      if (prev == kNoState) {
+        rebuilt.addInitial(id);
+        rebuilt.state(id).initial_count = std::max<std::size_t>(1, initial_count);
+      } else {
+        // The enabling function is the exit proposition of the previous
+        // fused state's last pattern.
+        rebuilt.addTransition(
+            {prev, id,
+             StateAssertion::exitProp(
+                 rebuilt.state(prev).assertion.alts.front())});
+        rebuilt.state(id).initial_count = 0;
+      }
+      prev = id;
+    }
+    psm = std::move(rebuilt);
+  }
+  return total_fused;
+}
+
+Psm disjointUnion(const std::vector<Psm>& psms) {
+  Psm out;
+  for (const Psm& p : psms) {
+    std::vector<StateId> remap(p.stateCount(), kNoState);
+    for (const auto& s : p.states()) {
+      PowerState copy = s;
+      copy.id = kNoState;
+      remap[static_cast<std::size_t>(s.id)] = out.addState(std::move(copy));
+    }
+    for (const auto& t : p.transitions()) {
+      out.addTransition({remap[static_cast<std::size_t>(t.from)],
+                         remap[static_cast<std::size_t>(t.to)], t.enabling});
+    }
+    for (const StateId s : p.initialStates()) {
+      out.addInitial(remap[static_cast<std::size_t>(s)]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Removes dead states, renumbers the survivors, and rebuilds the initial
+/// set from initial_count (fused initial states keep their multiplicity).
+Psm compact(const Psm& psm, const std::vector<char>& alive) {
+  Psm out;
+  std::vector<StateId> remap(psm.stateCount(), kNoState);
+  for (const auto& s : psm.states()) {
+    if (!alive[static_cast<std::size_t>(s.id)]) continue;
+    PowerState copy = s;
+    copy.id = kNoState;
+    remap[static_cast<std::size_t>(s.id)] = out.addState(std::move(copy));
+  }
+  for (const auto& t : psm.transitions()) {
+    out.addTransition({remap[static_cast<std::size_t>(t.from)],
+                       remap[static_cast<std::size_t>(t.to)], t.enabling});
+  }
+  for (const auto& s : out.states()) {
+    if (s.initial_count > 0) out.addInitial(s.id);
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+/// Merges state j's payload (assertion alternatives, power attributes,
+/// intervals, initial multiplicity) into state i. Transitions are NOT
+/// rewired here; join() remaps them once at the end via the parent map.
+void fusePayload(Psm& merged, std::size_t i, std::size_t j) {
+  PowerState& a = merged.state(static_cast<StateId>(i));
+  PowerState& b = merged.state(static_cast<StateId>(j));
+  if (a.assertion.counts.empty()) {
+    a.assertion.counts.assign(a.assertion.alts.size(), 1);
+  }
+  for (std::size_t alt = 0; alt < b.assertion.alts.size(); ++alt) {
+    a.assertion.counts.push_back(b.assertion.countOf(alt));
+  }
+  a.assertion.alts.insert(a.assertion.alts.end(), b.assertion.alts.begin(),
+                          b.assertion.alts.end());
+  a.power = PowerAttr::merged(a.power, b.power);
+  a.intervals.insert(a.intervals.end(), b.intervals.begin(),
+                     b.intervals.end());
+  a.initial_count += b.initial_count;
+}
+
+/// Sorted unique entry propositions of a state's assertion set.
+std::vector<PropId> entryPropSet(const PowerState& s) {
+  std::vector<PropId> entries;
+  for (const auto& seq : s.assertion.alts) {
+    entries.push_back(StateAssertion::entryProp(seq));
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  return entries;
+}
+
+
+/// Relative gap between the interval-mean ranges of two states: 0 when
+/// they overlap, otherwise the distance between the ranges divided by the
+/// pooled mean.
+double rangeGap(const PowerAttr& a, const PowerAttr& b) {
+  const double gap =
+      std::max(0.0, std::max(a.min_mean, b.min_mean) -
+                        std::min(a.max_mean, b.max_mean));
+  const PowerAttr pooled = PowerAttr::merged(a, b);
+  if (pooled.mean == 0.0) return gap == 0.0 ? 0.0 : 1e18;
+  return gap / std::fabs(pooled.mean);
+}
+
+}  // namespace
+
+Psm join(const std::vector<Psm>& psms, const MergePolicy& pol) {
+  Psm merged = disjointUnion(psms);
+  if (merged.stateCount() == 0) return merged;
+
+  // The methodology presupposes a correspondence between functional
+  // behaviour and energy consumption (Sec. III-B); merging states that
+  // share no entry proposition would fuse *different* behaviours that
+  // merely happen to burn similar power, making every exit choice
+  // non-deterministic. We therefore require a common entry proposition
+  // in addition to power mergeability — which also lets the quadratic
+  // merge run per entry-proposition bucket instead of over all pairs.
+  // Chain states carry exactly one alternative, so entry sets are
+  // singletons and bucketing by the entry proposition is exact.
+  std::unordered_map<PropId, std::vector<std::size_t>> buckets;
+  for (const auto& s : merged.states()) {
+    buckets[entryPropSet(s).front()].push_back(static_cast<std::size_t>(s.id));
+  }
+
+  // Union-find parent map: transitions are remapped once at the end
+  // instead of being rewritten on every fuse.
+  std::vector<std::size_t> parent(merged.stateCount());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::vector<char> alive(merged.stateCount(), 1);
+
+  // Representative-based clustering: each surviving state is tested
+  // against the bucket's current cluster representatives; repeated until
+  // a pass makes no change (pooled attributes move as clusters grow, so
+  // one pass is not always enough).
+  auto cluster = [&](const std::vector<std::size_t>& members, auto&& fits) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<std::size_t> reps;
+      for (const std::size_t m : members) {
+        if (!alive[m]) continue;
+        bool absorbed = false;
+        for (const std::size_t r : reps) {
+          if (!fits(merged.state(static_cast<StateId>(r)),
+                    merged.state(static_cast<StateId>(m)))) {
+            continue;
+          }
+          fusePayload(merged, r, m);
+          alive[m] = 0;
+          parent[m] = r;
+          absorbed = true;
+          changed = true;
+          break;
+        }
+        if (!absorbed) reps.push_back(m);
+      }
+    }
+  };
+
+  for (auto& [entry, members] : buckets) {
+    cluster(members, [&](const PowerState& a, const PowerState& b) {
+      return mergeable(a.power, b.power, pol);
+    });
+  }
+
+  // Data-dependent consolidation: same functional behaviour (identical
+  // entry propositions) split into power buckets by data activity.
+  // Buckets of one data-dependent continuum overlap or abut (small range
+  // gap); two *different* modes that share an entry proposition — e.g. an
+  // idle and a busy phase that look identical at the ports — sit far
+  // apart in power and stay separate.
+  if (pol.consolidate_data_dependent) {
+    for (auto& [entry, members] : buckets) {
+      cluster(members, [&](const PowerState& a, const PowerState& b) {
+        return rangeGap(a.power, b.power) <= pol.data_gap &&
+               PowerAttr::merged(a.power, b.power).span() <= pol.data_span;
+      });
+    }
+  }
+
+  // Path-compressed lookup, then remap every transition endpoint.
+  std::vector<std::size_t> root(merged.stateCount());
+  for (std::size_t i = 0; i < root.size(); ++i) {
+    std::size_t r = i;
+    while (parent[r] != r) r = parent[r];
+    root[i] = r;
+  }
+  for (auto& t : merged.transitions()) {
+    t.from = static_cast<StateId>(root[static_cast<std::size_t>(t.from)]);
+    t.to = static_cast<StateId>(root[static_cast<std::size_t>(t.to)]);
+  }
+
+  Psm out = compact(merged, alive);
+  normalizeAssertions(out);
+  return out;
+}
+
+}  // namespace psmgen::core

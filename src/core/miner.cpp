@@ -1,0 +1,209 @@
+#include "core/miner.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace psmgen::core {
+
+namespace {
+
+std::size_t totalLength(
+    const std::vector<const trace::FunctionalTrace*>& traces) {
+  std::size_t n = 0;
+  for (const auto* t : traces) n += t->length();
+  return n;
+}
+
+void checkTraces(const std::vector<const trace::FunctionalTrace*>& traces) {
+  if (traces.empty()) {
+    throw std::invalid_argument("AssertionMiner: no training traces");
+  }
+  for (const auto* t : traces) {
+    if (t == nullptr || t->empty()) {
+      throw std::invalid_argument("AssertionMiner: null or empty trace");
+    }
+    if (!(t->variables() == traces.front()->variables())) {
+      throw std::invalid_argument(
+          "AssertionMiner: traces have different variable sets");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<AtomicProposition> AssertionMiner::candidateAtoms(
+    const std::vector<const trace::FunctionalTrace*>& traces) const {
+  const trace::VariableSet& vars = traces.front()->variables();
+  const std::size_t total = totalLength(traces);
+  std::vector<AtomicProposition> atoms;
+  std::vector<char> control_flags(vars.size(), 0);
+
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    const int vid = static_cast<int>(v);
+    if (vars[v].width == 1) {
+      control_flags[v] = 1;
+      atoms.push_back({vid, CmpOp::Eq, -1, common::BitVector(1, 1)});
+      continue;
+    }
+    // Frequent-constant mining for wide variables.
+    std::unordered_map<common::BitVector, std::size_t, common::BitVectorHash>
+        counts;
+    bool overflow = false;
+    for (const auto* t : traces) {
+      for (std::size_t i = 0; i < t->length(); ++i) {
+        const common::BitVector& value = t->value(i, vid);
+        auto it = counts.find(value);
+        if (it != counts.end()) {
+          ++it->second;
+        } else if (counts.size() < config_.value_track_limit) {
+          counts.emplace(value, 1);
+        } else {
+          overflow = true;
+        }
+      }
+    }
+    const bool control_like =
+        !overflow && counts.size() <= config_.max_distinct_for_constants;
+    control_flags[v] = control_like ? 1 : 0;
+    if (!control_like) {
+      // Data-like variable: no constant atoms; the zero atom (if enabled)
+      // still captures the common "bus held at 0" behaviour.
+      if (config_.mine_zero) {
+        atoms.push_back(
+            {vid, CmpOp::Eq, -1, common::BitVector(vars[v].width, 0)});
+      }
+      continue;
+    }
+    std::vector<std::pair<common::BitVector, std::size_t>> frequent(
+        counts.begin(), counts.end());
+    std::sort(frequent.begin(), frequent.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return common::BitVector::compare(a.first, b.first) < 0;
+              });
+    const auto min_count = static_cast<std::size_t>(
+        config_.min_constant_support * static_cast<double>(total));
+    std::size_t taken = 0;
+    bool zero_taken = false;
+    for (const auto& [value, count] : frequent) {
+      if (taken >= config_.max_constants_per_var) break;
+      if (count < std::max<std::size_t>(min_count, 2)) break;
+      atoms.push_back({vid, CmpOp::Eq, -1, value});
+      if (value.isZero()) zero_taken = true;
+      ++taken;
+    }
+    if (config_.mine_zero && !zero_taken) {
+      atoms.push_back({vid, CmpOp::Eq, -1, common::BitVector(vars[v].width, 0)});
+    }
+  }
+
+  if (config_.mine_var_var) {
+    // Relational atoms only between control-like variables: comparing two
+    // data buses (e.g. an AES key against a data block) yields a truth
+    // value that is an artifact of the particular random data, stable
+    // within an operation yet void of behavioural meaning — it fragments
+    // the proposition alphabet across operations.
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      for (std::size_t j = i + 1; j < vars.size(); ++j) {
+        if (vars[i].width != vars[j].width || vars[i].width == 1) continue;
+        if (!control_flags[i] || !control_flags[j]) continue;
+        atoms.push_back({static_cast<int>(i), CmpOp::Eq,
+                         static_cast<int>(j), common::BitVector()});
+        atoms.push_back({static_cast<int>(i), CmpOp::Gt,
+                         static_cast<int>(j), common::BitVector()});
+      }
+    }
+  }
+  return atoms;
+}
+
+std::vector<AtomicProposition> AssertionMiner::mineAtoms(
+    const std::vector<const trace::FunctionalTrace*>& traces) const {
+  checkTraces(traces);
+  std::vector<AtomicProposition> candidates = candidateAtoms(traces);
+  const std::size_t total = totalLength(traces);
+
+  // Support, toggle-rate and run-structure filtering.
+  std::vector<std::size_t> hold_count(candidates.size(), 0);
+  std::vector<std::size_t> toggle_count(candidates.size(), 0);
+  // Per-polarity run statistics: [atom][polarity].
+  std::vector<std::array<std::size_t, 2>> run_count(candidates.size(), {0, 0});
+  std::vector<std::array<std::size_t, 2>> singleton_runs(candidates.size(),
+                                                         {0, 0});
+  std::vector<char> prev_truth(candidates.size(), 0);
+  std::vector<std::size_t> run_len(candidates.size(), 0);
+  for (const auto* t : traces) {
+    for (std::size_t i = 0; i < t->length(); ++i) {
+      const auto& row = t->step(i);
+      const bool boundary = (i == 0);
+      for (std::size_t a = 0; a < candidates.size(); ++a) {
+        const char truth = candidates[a].eval(row) ? 1 : 0;
+        hold_count[a] += truth;
+        if (boundary || truth != prev_truth[a]) {
+          // Close the previous run (toggle counting restarts per trace).
+          if (!boundary) ++toggle_count[a];
+          if (run_len[a] > 0) {
+            ++run_count[a][prev_truth[a]];
+            if (run_len[a] == 1) ++singleton_runs[a][prev_truth[a]];
+          }
+          run_len[a] = 1;
+        } else {
+          ++run_len[a];
+        }
+        prev_truth[a] = truth;
+      }
+    }
+  }
+  for (std::size_t a = 0; a < candidates.size(); ++a) {
+    if (run_len[a] > 0) {
+      ++run_count[a][prev_truth[a]];
+      if (run_len[a] == 1) ++singleton_runs[a][prev_truth[a]];
+    }
+  }
+
+  const trace::VariableSet& vars = traces.front()->variables();
+  std::vector<AtomicProposition> kept;
+  for (std::size_t a = 0; a < candidates.size(); ++a) {
+    if (hold_count[a] == 0 || hold_count[a] == total) continue;  // constant
+    const double toggle_rate =
+        static_cast<double>(toggle_count[a]) / static_cast<double>(total);
+    if (toggle_rate > config_.max_toggle_rate) continue;  // noise
+    const bool boolean_atom =
+        vars[static_cast<std::size_t>(candidates[a].lhs)].width == 1;
+    if (!boolean_atom) {
+      bool spiky = false;
+      for (int pol = 0; pol < 2; ++pol) {
+        if (run_count[a][pol] == 0) continue;
+        const double singleton_fraction =
+            static_cast<double>(singleton_runs[a][pol]) /
+            static_cast<double>(run_count[a][pol]);
+        if (singleton_fraction > config_.max_singleton_run_fraction) {
+          spiky = true;
+        }
+      }
+      if (spiky) continue;
+    }
+    kept.push_back(candidates[a]);
+  }
+  return kept;
+}
+
+PropositionDomain AssertionMiner::buildDomain(
+    const std::vector<const trace::FunctionalTrace*>& traces) const {
+  checkTraces(traces);
+  return PropositionDomain(traces.front()->variables(), mineAtoms(traces));
+}
+
+PropositionTrace AssertionMiner::tracePropositions(
+    PropositionDomain& domain, const trace::FunctionalTrace& t) {
+  PropositionTrace out;
+  out.ids.reserve(t.length());
+  for (std::size_t i = 0; i < t.length(); ++i) {
+    out.ids.push_back(domain.internRow(t.step(i)));
+  }
+  return out;
+}
+
+}  // namespace psmgen::core

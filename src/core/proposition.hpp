@@ -1,0 +1,111 @@
+#pragma once
+// Propositions (paper Def. 1 / Sec. III-A).
+//
+// An atomic proposition is a relational predicate over the IP's primary
+// inputs/outputs (e.g. "we = 1", "v3 > v4", "wdata = 0xA5"). A
+// *proposition* is the AND-composition of atomic propositions derived from
+// one row of the truth matrix m: the mining procedure guarantees that in
+// each simulation instant exactly one proposition holds, which we realize
+// by identifying a proposition with the complete truth signature of the
+// whole atom set (true atoms AND negated false atoms). Two instants map
+// to the same proposition iff all atoms agree on them.
+//
+// PropositionDomain owns the atom set of an IP and interns signatures to
+// dense PropIds. The domain is shared by every trace of the same IP so
+// that proposition identities are consistent across the PSMs that the
+// join procedure and the HMM later combine.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "trace/functional_trace.hpp"
+
+namespace psmgen::core {
+
+enum class CmpOp { Eq, Gt };
+
+struct AtomicProposition {
+  int lhs = -1;                    ///< variable id
+  CmpOp op = CmpOp::Eq;
+  int rhs_var = -1;                ///< -1 => compare against rhs_const
+  common::BitVector rhs_const;
+
+  bool eval(const std::vector<common::BitVector>& row) const;
+  std::string toString(const trace::VariableSet& vars) const;
+
+  bool operator==(const AtomicProposition&) const = default;
+};
+
+using PropId = int;
+inline constexpr PropId kNoProp = -1;
+
+/// Truth signature of the full atom set at one instant.
+class Signature {
+ public:
+  Signature() = default;
+  explicit Signature(const std::vector<bool>& truths);
+
+  bool get(std::size_t atom) const;
+  std::size_t size() const { return size_; }
+
+  bool operator==(const Signature&) const = default;
+  std::size_t hash() const;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct SignatureHash {
+  std::size_t operator()(const Signature& s) const { return s.hash(); }
+};
+
+class PropositionDomain {
+ public:
+  PropositionDomain(trace::VariableSet vars,
+                    std::vector<AtomicProposition> atoms);
+
+  const trace::VariableSet& variables() const { return vars_; }
+  const std::vector<AtomicProposition>& atoms() const { return atoms_; }
+
+  /// Truth signature of a row (one value per variable).
+  Signature evalRow(const std::vector<common::BitVector>& row) const;
+
+  /// Returns the PropId of a signature, creating it if new.
+  PropId intern(const Signature& sig);
+  /// Returns the PropId of a signature, or kNoProp if never interned.
+  PropId find(const Signature& sig) const;
+
+  PropId internRow(const std::vector<common::BitVector>& row);
+  PropId findRow(const std::vector<common::BitVector>& row) const;
+
+  std::size_t size() const { return signatures_.size(); }
+  const Signature& signature(PropId id) const { return signatures_.at(id); }
+
+  /// Human-readable rendering in the paper's style: the AND of the atoms
+  /// that are true in the signature (e.g. "we=1 & ce=1").
+  std::string describe(PropId id) const;
+  /// Short name like "p12" used in DOT export and generated code.
+  std::string shortName(PropId id) const;
+
+ private:
+  trace::VariableSet vars_;
+  std::vector<AtomicProposition> atoms_;
+  std::vector<Signature> signatures_;
+  std::unordered_map<Signature, PropId, SignatureHash> index_;
+};
+
+/// A proposition trace (paper Def. 2): the proposition holding at each
+/// instant of a functional trace.
+struct PropositionTrace {
+  std::vector<PropId> ids;
+
+  std::size_t length() const { return ids.size(); }
+  PropId at(std::size_t t) const { return ids.at(t); }
+};
+
+}  // namespace psmgen::core

@@ -1,0 +1,186 @@
+#include "core/psm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace psmgen::core {
+
+PowerAttr PowerAttr::single(double mean, double stddev, std::size_t n) {
+  PowerAttr attr;
+  attr.mean = mean;
+  attr.stddev = stddev;
+  attr.n = n;
+  attr.min_mean = mean;
+  attr.max_mean = mean;
+  return attr;
+}
+
+PowerAttr PowerAttr::merged(const PowerAttr& a, const PowerAttr& b) {
+  if (a.n == 0) return b;
+  if (b.n == 0) return a;
+  const double na = static_cast<double>(a.n);
+  const double nb = static_cast<double>(b.n);
+  const double n = na + nb;
+  PowerAttr out;
+  out.n = a.n + b.n;
+  const double delta = b.mean - a.mean;
+  out.mean = a.mean + delta * nb / n;
+  // m2 = var * (n - 1); Chan et al. pooled update.
+  const double m2a = a.stddev * a.stddev * (na - 1.0);
+  const double m2b = b.stddev * b.stddev * (nb - 1.0);
+  const double m2 = m2a + m2b + delta * delta * na * nb / n;
+  out.stddev = out.n > 1 ? std::sqrt(m2 / (n - 1.0)) : 0.0;
+  out.min_mean = std::min(a.min_mean, b.min_mean);
+  out.max_mean = std::max(a.max_mean, b.max_mean);
+  return out;
+}
+
+double PowerAttr::cv() const {
+  if (mean == 0.0) return 0.0;
+  return stddev / std::fabs(mean);
+}
+
+double PowerAttr::span() const {
+  if (mean == 0.0) return 0.0;
+  return (max_mean - min_mean) / std::fabs(mean);
+}
+
+StateId Psm::addState(PowerState state) {
+  state.id = static_cast<StateId>(states_.size());
+  states_.push_back(std::move(state));
+  return states_.back().id;
+}
+
+void Psm::addTransition(Transition t) {
+  if (t.from < 0 || t.from >= static_cast<StateId>(states_.size()) ||
+      t.to < 0 || t.to >= static_cast<StateId>(states_.size())) {
+    throw std::invalid_argument("Psm::addTransition: bad state id");
+  }
+  transitions_.push_back(t);
+}
+
+void Psm::addInitial(StateId s) {
+  if (s < 0 || s >= static_cast<StateId>(states_.size())) {
+    throw std::invalid_argument("Psm::addInitial: bad state id");
+  }
+  initials_.push_back(s);
+}
+
+const PowerState& Psm::state(StateId id) const {
+  return states_.at(static_cast<std::size_t>(id));
+}
+
+PowerState& Psm::state(StateId id) {
+  return states_.at(static_cast<std::size_t>(id));
+}
+
+std::vector<Transition> Psm::transitionsFrom(StateId from) const {
+  std::vector<Transition> out;
+  for (const auto& t : transitions_) {
+    if (t.from == from) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<StateId> Psm::successorsOn(StateId from, PropId enabling) const {
+  std::vector<StateId> out;
+  for (const auto& t : transitions_) {
+    if (t.from == from && t.enabling == enabling) out.push_back(t.to);
+  }
+  return out;
+}
+
+bool Psm::isChain() const {
+  std::vector<int> out_deg(states_.size(), 0);
+  std::vector<int> in_deg(states_.size(), 0);
+  for (const auto& t : transitions_) {
+    ++out_deg[static_cast<std::size_t>(t.from)];
+    ++in_deg[static_cast<std::size_t>(t.to)];
+  }
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (out_deg[i] > 1 || in_deg[i] > 1) return false;
+  }
+  return true;
+}
+
+void Psm::validate() const {
+  for (const auto& t : transitions_) {
+    if (t.from < 0 || t.from >= static_cast<StateId>(states_.size()) ||
+        t.to < 0 || t.to >= static_cast<StateId>(states_.size())) {
+      throw std::logic_error("Psm::validate: dangling transition");
+    }
+  }
+  for (const StateId s : initials_) {
+    if (s < 0 || s >= static_cast<StateId>(states_.size())) {
+      throw std::logic_error("Psm::validate: dangling initial state");
+    }
+  }
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].id != static_cast<StateId>(i)) {
+      throw std::logic_error("Psm::validate: state id mismatch");
+    }
+    if (states_[i].assertion.alts.empty()) {
+      throw std::logic_error("Psm::validate: state without assertion");
+    }
+  }
+}
+
+void normalizeAssertions(Psm& psm) {
+  for (StateId id = 0; id < static_cast<StateId>(psm.stateCount()); ++id) {
+    PowerState& s = psm.state(id);
+    std::vector<PatternSeq> unique_alts;
+    std::vector<std::size_t> counts;
+    for (std::size_t a = 0; a < s.assertion.alts.size(); ++a) {
+      const PatternSeq& seq = s.assertion.alts[a];
+      const std::size_t c = s.assertion.countOf(a);
+      bool found = false;
+      for (std::size_t u = 0; u < unique_alts.size(); ++u) {
+        if (unique_alts[u] == seq) {
+          counts[u] += c;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        unique_alts.push_back(seq);
+        counts.push_back(c);
+      }
+    }
+    s.assertion.alts = std::move(unique_alts);
+    s.assertion.counts = std::move(counts);
+  }
+
+  std::vector<Transition> unique_trans;
+  for (const Transition& t : psm.transitions()) {
+    bool found = false;
+    for (Transition& u : unique_trans) {
+      if (u.from == t.from && u.to == t.to && u.enabling == t.enabling) {
+        u.count += t.count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) unique_trans.push_back(t);
+  }
+  psm.transitions() = std::move(unique_trans);
+}
+
+std::string toString(const Pattern& p, const PropositionDomain& domain) {
+  const std::string op = p.is_until ? " U " : " X ";
+  return domain.shortName(p.p) + op + domain.shortName(p.q);
+}
+
+std::string toString(const StateAssertion& a, const PropositionDomain& domain) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < a.alts.size(); ++i) {
+    if (i != 0) out += " || ";
+    for (std::size_t k = 0; k < a.alts[i].size(); ++k) {
+      if (k != 0) out += " ; ";
+      out += toString(a.alts[i][k], domain);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace psmgen::core

@@ -1,0 +1,171 @@
+#pragma once
+// Simulation of the (combined, possibly non-deterministic) PSM set
+// concurrently with a functional trace (paper Secs. III-C and V).
+//
+// Per instant the simulator evaluates the proposition holding on the
+// IP's PIs/POs, advances the temporal-assertion engine of the current
+// power state, and emits the state's power output (constant mu or the
+// regression function of the input Hamming distance).
+//
+// Within a state the engine tracks *all* viable alternatives
+// simultaneously (subset construction over the state's {seq || seq}
+// assertion set): an alternative dies when its expected pattern is not
+// satisfied. When the assertion set completes, the state is left through
+// the transition whose enabling function equals the observed exit
+// proposition; if several transitions qualify (non-determinism from the
+// join), the HMM filter predicts the most probable target. When every
+// alternative dies, the state was a wrong prediction: the simulator
+// reverts to the last valid state, fixes the offending transition
+// probability to 0 (Hmm::Filter::penalize) and tries a different path;
+// if no path accepts the observation it stays in the last valid state —
+// emitting its (unreliable) power — until a known behaviour is
+// recognised again.
+//
+// The Session object exposes a streaming per-cycle API so the SystemC-lite
+// PSM module can co-simulate with the IP model (Table III).
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hmm.hpp"
+#include "core/proposition.hpp"
+#include "core/psm.hpp"
+#include "trace/functional_trace.hpp"
+
+namespace psmgen::core {
+
+struct SimOptions {
+  /// Use the HMM filter for non-deterministic choices and resync; when
+  /// false, ties break on training frequency only (ablation knob).
+  bool use_hmm = true;
+  /// When every alternative of the current state dies but a trained
+  /// transition of the state is enabled by the observation, leave through
+  /// it instead of declaring a violation (the state's exit alphabet is
+  /// the union of its alternatives' exits). Documented extension; turn
+  /// off to get the paper's strict per-alternative semantics.
+  bool generalize_exits = true;
+};
+
+struct SimResult {
+  std::vector<double> estimate;  ///< per-instant power estimate
+
+  /// Non-deterministic decisions the HMM filter resolved (choice among
+  /// more than one viable state at an entry, initial choice, or resync
+  /// recognition with several matching states).
+  std::size_t predictions = 0;
+  /// Predictions proven wrong: the entered state's assertion failed and
+  /// an *alternative path existed in the model* — the HMM simply chose
+  /// the wrong branch (paper Sec. V: revert, penalize, re-route).
+  std::size_t wrong_predictions = 0;
+  /// Assertion failures with no alternative path: behaviour absent from
+  /// the training traces (the paper's "unexpected behaviour" case).
+  std::size_t unexpected_behaviours = 0;
+  std::size_t lost_instants = 0;  ///< instants spent desynchronized
+
+  /// Wrong-state-prediction percentage (Table III "WSP").
+  double wspPercent() const {
+    return predictions == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(wrong_predictions) /
+                     static_cast<double>(predictions);
+  }
+};
+
+class PsmSimulator {
+ public:
+  PsmSimulator(const Psm& psm, const PropositionDomain& domain,
+               SimOptions options = {});
+
+  /// Streaming per-cycle evaluation.
+  class Session {
+   public:
+    /// Consumes the next row (one value per trace variable, inputs first)
+    /// and returns the power estimate for that instant.
+    double step(const std::vector<common::BitVector>& row);
+
+    std::size_t predictions() const { return predictions_; }
+    std::size_t wrongPredictions() const { return wrong_; }
+    std::size_t unexpectedBehaviours() const { return unexpected_; }
+    std::size_t lostInstants() const { return lost_instants_; }
+    StateId currentState() const { return cur_; }
+    bool isLost() const { return lost_; }
+
+   private:
+    friend class PsmSimulator;
+    explicit Session(const PsmSimulator& sim);
+
+    struct Config {
+      std::size_t alt = 0;
+      std::size_t pos = 0;
+    };
+
+    enum class Advance { Stayed, Exited, Violation };
+    /// Bound on buffered observations for the exit-checkpoint backtrack.
+    static constexpr std::size_t kMaxBacktrack = 64;
+
+    double outputPower(unsigned hd_in, unsigned hd_io) const;
+    bool enterState(StateId s, PropId obs, bool entry_only, bool was_choice);
+    Advance advanceCore(PropId obs, bool allow_checkpoint);
+    bool tryBacktrack();
+    bool tryCheckpoint();
+    void handleViolation(PropId obs);
+    void tryRecognize(PropId obs);
+    std::vector<Config> matchingConfigs(StateId s, PropId obs,
+                                        bool entry_only) const;
+
+    const PsmSimulator* sim_;
+    Hmm::Filter filter_;
+    bool started_ = false;
+    bool lost_ = true;
+    StateId cur_ = kNoState;
+    StateId last_valid_ = kNoState;
+    StateId revert_from_ = kNoState;  ///< state we entered cur_ from
+    PropId entry_enabling_ = kNoProp;
+    /// The entry into cur_ was a non-deterministic HMM choice.
+    bool entry_was_choice_ = false;
+    std::vector<Config> configs_;
+    /// A forgone exit (survivors were preferred) that violation handling
+    /// may revisit; buffer holds the observations seen since. A small
+    /// stack of checkpoints handles nested ambiguities, newest first.
+    struct Checkpoint {
+      StateId state = kNoState;
+      PropId enabling = kNoProp;
+      std::vector<PropId> buffer;
+    };
+    static constexpr std::size_t kMaxCheckpoints = 4;
+    std::vector<Checkpoint> checkpoints_;
+    std::vector<common::BitVector> prev_inputs_;
+    std::size_t predictions_ = 0;
+    std::size_t wrong_ = 0;
+    std::size_t unexpected_ = 0;
+    std::size_t lost_instants_ = 0;
+  };
+
+  Session startSession() const { return Session(*this); }
+
+  /// Batch simulation of a whole functional trace.
+  SimResult simulate(const trace::FunctionalTrace& trace) const;
+
+  const Psm& psm() const { return *psm_; }
+  const Hmm& hmm() const { return hmm_; }
+  const PropositionDomain& domain() const { return *domain_; }
+
+ private:
+  const std::vector<StateId>& successors(StateId from, PropId enabling) const;
+
+  const Psm* psm_;
+  const PropositionDomain* domain_;
+  SimOptions options_;
+  Hmm hmm_;
+  /// Fallback state while desynchronized before any state was entered.
+  StateId default_state_ = kNoState;
+  /// Per trace-variable: is it a primary input (for the input-HD scope).
+  std::vector<char> is_input_;
+  /// (state, enabling proposition) -> unique successor states; built once
+  /// so the per-cycle hot path avoids scanning the transition list.
+  std::unordered_map<std::uint64_t, std::vector<StateId>> adjacency_;
+};
+
+}  // namespace psmgen::core

@@ -1,0 +1,54 @@
+#include "core/refine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace psmgen::core {
+
+RefineReport refineDataDependentStates(
+    Psm& psm, const std::vector<trace::FunctionalTrace>& functional,
+    const std::vector<trace::PowerTrace>& power, const RefineConfig& cfg) {
+  if (functional.size() != power.size()) {
+    throw std::invalid_argument("refine: trace vectors size mismatch");
+  }
+  RefineReport report;
+  for (StateId id = 0; id < static_cast<StateId>(psm.stateCount()); ++id) {
+    PowerState& s = psm.state(id);
+    if (s.power.cv() <= cfg.min_cv) continue;
+    ++report.candidates;
+
+    std::vector<double> hd_in;
+    std::vector<double> hd_io;
+    std::vector<double> watts;
+    for (const Interval& iv : s.intervals) {
+      if (iv.trace_id < 0 ||
+          static_cast<std::size_t>(iv.trace_id) >= functional.size()) {
+        throw std::out_of_range("refine: interval references unknown trace");
+      }
+      const auto& f = functional[static_cast<std::size_t>(iv.trace_id)];
+      const auto& p = power[static_cast<std::size_t>(iv.trace_id)];
+      for (std::size_t t = iv.start; t <= iv.stop; ++t) {
+        hd_in.push_back(static_cast<double>(f.inputHammingDistance(t)));
+        hd_io.push_back(static_cast<double>(f.rowHammingDistance(t)));
+        watts.push_back(p.at(t));
+      }
+    }
+    if (watts.size() < cfg.min_samples) continue;
+    // Try both observables and keep the better-correlated one (the
+    // methodology observes the whole black-box interface; which part
+    // drives the power is IP-dependent).
+    const stats::LinearFit fit_in = stats::linearRegression(hd_in, watts);
+    const stats::LinearFit fit_io = stats::linearRegression(hd_io, watts);
+    const bool use_inputs =
+        std::fabs(fit_in.pearson_r) >= std::fabs(fit_io.pearson_r);
+    const stats::LinearFit& best = use_inputs ? fit_in : fit_io;
+    if (std::fabs(best.pearson_r) < cfg.min_abs_r) continue;
+    s.regression = best;
+    s.regression_scope =
+        use_inputs ? HammingScope::Inputs : HammingScope::Interface;
+    ++report.refined;
+  }
+  return report;
+}
+
+}  // namespace psmgen::core

@@ -1,0 +1,71 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace psmgen::core {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::addRow: cell count mismatch");
+  }
+  rows_.push_back({false, std::move(cells)});
+}
+
+void Table::addSeparator() { rows_.push_back({true, {}}); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  auto line = [&](char fill) {
+    std::string s = "+";
+    for (const std::size_t w : widths) {
+      s += std::string(w + 2, fill);
+      s += "+";
+    }
+    return s;
+  };
+  os << line('-') << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << " " << common::padRight(headers_[c], widths[c]) << " |";
+  }
+  os << "\n" << line('=') << "\n";
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      os << line('-') << "\n";
+      continue;
+    }
+    os << "|";
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      os << " " << common::padLeft(row.cells[c], widths[c]) << " |";
+    }
+    os << "\n";
+  }
+  os << line('-') << "\n";
+}
+
+std::string Table::toString() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace psmgen::core

@@ -1,0 +1,32 @@
+#pragma once
+// Fixed-width plain-text table rendering for the benchmark harness
+// (reproduces the layout of the paper's Tables I-III).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace psmgen::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+  /// Inserts a horizontal separator (the paper's "dashed line" between
+  /// short-TS and long-TS blocks).
+  void addSeparator();
+
+  void print(std::ostream& os) const;
+  std::string toString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace psmgen::core

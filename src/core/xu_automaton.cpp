@@ -1,0 +1,38 @@
+#include "core/xu_automaton.hpp"
+
+namespace psmgen::core {
+
+std::optional<MinedAssertion> XuAutomaton::next() {
+  // f[0] = at(idx_), f[1] = at(idx_ + 1); advancing idx_ scrolls the FIFO.
+  const PropId head = at(idx_);
+  if (head == kNoProp) return std::nullopt;
+
+  if (at(idx_ + 1) != head) {
+    // State X with f[1] != f[0].
+    const PropId target = at(idx_ + 1);
+    if (target == kNoProp) {
+      // Lone trailing proposition: it was the exit target of the previous
+      // pattern, not a state of its own.
+      ++idx_;
+      return std::nullopt;
+    }
+    MinedAssertion mined;
+    mined.pattern = {head, target, /*is_until=*/false};
+    mined.start = idx_;
+    mined.stop = idx_;
+    ++idx_;
+    return mined;
+  }
+
+  // State U: consume the run of equal propositions.
+  const std::size_t start = idx_;
+  while (at(idx_ + 1) == head) ++idx_;
+  MinedAssertion mined;
+  mined.pattern = {head, at(idx_ + 1), /*is_until=*/true};
+  mined.start = start;
+  mined.stop = idx_;
+  ++idx_;
+  return mined;
+}
+
+}  // namespace psmgen::core

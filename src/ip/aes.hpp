@@ -1,0 +1,90 @@
+#pragma once
+// Iterative AES-128 encryption/decryption core (Open Core Library style).
+//
+// Matches the paper's AES benchmark interface: 260 primary input bits,
+// 129 primary output bits. One cipher round per clock cycle (10 busy
+// cycles per block), with on-the-fly key expansion in both directions as
+// compact hardware cores do (only the current round key is registered).
+//
+// Ports:
+//   in  rst      1
+//   in  en       1    clock enable
+//   in  start    1    begin a new operation (latches key/data/decrypt)
+//   in  decrypt  1    0 = encrypt, 1 = decrypt
+//   in  key    128
+//   in  data   128
+//   out done     1    one-cycle pulse when result becomes valid
+//   out result 128
+//
+// The round primitives and key-schedule helpers are exposed in the
+// aes namespace so the test suite can check them against FIPS-197.
+
+#include <array>
+#include <cstdint>
+
+#include "rtl/device.hpp"
+
+namespace psmgen::ip {
+
+namespace aes {
+
+/// AES state / round key: byte i is the i-th byte of the standard
+/// big-endian block representation (state column-major as in FIPS-197).
+using Block = std::array<std::uint8_t, 16>;
+
+void subBytes(Block& s);
+void invSubBytes(Block& s);
+void shiftRows(Block& s);
+void invShiftRows(Block& s);
+void mixColumns(Block& s);
+void invMixColumns(Block& s);
+void addRoundKey(Block& s, const Block& rk);
+
+/// Round key i from round key i-1 (round in [1,10]).
+Block nextRoundKey(const Block& rk, int round);
+/// Round key i-1 from round key i (round in [1,10]).
+Block prevRoundKey(const Block& rk, int round);
+/// Round key 10 straight from the cipher key.
+Block finalRoundKey(const Block& key);
+
+/// Whole-block reference implementations (used by tests and testbenches).
+Block encryptBlock(const Block& plaintext, const Block& key);
+Block decryptBlock(const Block& ciphertext, const Block& key);
+
+/// Conversions: bit 127..120 of the vector is block byte 0 (so the hex
+/// rendering of the BitVector equals the conventional test-vector hex).
+Block toBlock(const common::BitVector& v);
+common::BitVector fromBlock(const Block& b);
+
+}  // namespace aes
+
+class AesIP final : public rtl::DeviceBase {
+ public:
+  AesIP();
+
+  void reset() override;
+  std::size_t sourceLines() const override { return 1089; }
+
+  enum Input { kRst = 0, kEn, kStart, kDecrypt, kKey, kData };
+  enum Output { kDone = 0, kResult };
+
+  /// Busy cycles per operation (start cycle + 10 rounds).
+  static constexpr std::size_t kLatency = 11;
+
+ protected:
+  void evaluate(const rtl::PortValues& in, rtl::PortValues& out) override;
+
+ private:
+  /// Sink for the always-evaluated combinational cone (see evaluate()).
+  std::uint8_t comb_sink_ = 0;
+
+  rtl::Register& state_;
+  rtl::Register& round_key_;
+  rtl::Register& out_reg_;
+  rtl::Register& round_ctr_;
+  rtl::Register& busy_;
+  rtl::Register& done_;
+  rtl::Register& dec_;
+};
+
+}  // namespace psmgen::ip

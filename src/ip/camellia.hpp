@@ -1,0 +1,95 @@
+#pragma once
+// Iterative Camellia-128 encryption/decryption core (RFC 3713).
+//
+// Matches the paper's Camellia benchmark interface: 262 primary input
+// bits, 129 primary output bits. One Feistel round (or FL/FL~ layer) per
+// clock cycle: 18 rounds + 2 FL layers + output = 21 busy cycles.
+//
+// Ports:
+//   in  rst      1
+//   in  en       1
+//   in  krdy     1    latch a new cipher key (runs the key schedule)
+//   in  drdy     1    begin processing `din` with the latched key
+//   in  decrypt  1
+//   in  flush    1    clear data path registers (not the key)
+//   in  kin    128
+//   in  din    128
+//   out done     1
+//   out dout   128
+//
+// Camellia is the paper's example of an IP whose *subcomponents* (Feistel
+// datapath, FL layer, key-schedule/subkey pipeline) expose power
+// behaviours that are poorly correlated with what is visible at the
+// primary I/Os; the per-round subkey register (which jumps between
+// rotations of KL and KA) reproduces that effect.
+
+#include <array>
+#include <cstdint>
+
+#include "rtl/device.hpp"
+
+namespace psmgen::ip {
+
+namespace camellia {
+
+/// F-function of Camellia (S-boxes + P permutation).
+std::uint64_t F(std::uint64_t x, std::uint64_t k);
+/// FL / FL-inverse layers.
+std::uint64_t FL(std::uint64_t x, std::uint64_t k);
+std::uint64_t FLinv(std::uint64_t y, std::uint64_t k);
+
+struct KeySchedule {
+  std::uint64_t kw[4];   ///< whitening keys
+  std::uint64_t k[18];   ///< round keys
+  std::uint64_t ke[4];   ///< FL-layer keys
+};
+
+/// 128-bit key schedule; key given as (left, right) 64-bit halves.
+KeySchedule expandKey(std::uint64_t kl_hi, std::uint64_t kl_lo);
+
+/// Whole-block reference implementations (big-endian halves).
+void encryptBlock(std::uint64_t in[2], std::uint64_t out[2],
+                  const KeySchedule& ks);
+void decryptBlock(std::uint64_t in[2], std::uint64_t out[2],
+                  const KeySchedule& ks);
+
+}  // namespace camellia
+
+class CamelliaIP final : public rtl::DeviceBase {
+ public:
+  CamelliaIP();
+
+  void reset() override;
+  std::size_t sourceLines() const override { return 1676; }
+
+  enum Input { kRst = 0, kEn, kKrdy, kDrdy, kDecrypt, kFlush, kKin, kDin };
+  enum Output { kDone = 0, kDout };
+
+  /// Busy cycles per block: 18 rounds + 2 FL layers + output cycle.
+  static constexpr std::size_t kLatency = 21;
+
+ protected:
+  void evaluate(const rtl::PortValues& in, rtl::PortValues& out) override;
+
+ private:
+  common::BitVector pack128(std::uint64_t hi, std::uint64_t lo) const;
+
+  rtl::Register& d1_;       ///< Feistel left half
+  rtl::Register& d2_;       ///< Feistel right half
+  rtl::Register& kl_;       ///< cipher key KL
+  rtl::Register& ka_;       ///< derived key KA
+  rtl::Register& subkey_;   ///< current round subkey (key-schedule pipeline)
+  rtl::Register& fl_unit_;  ///< FL-layer working register (sub-block)
+  rtl::Register& out_reg_;
+  rtl::Register& round_ctr_;
+  rtl::Register& busy_;
+  rtl::Register& done_;
+  rtl::Register& dec_;
+  rtl::Register& key_valid_;
+
+  camellia::KeySchedule ks_{};  ///< combinational view of the schedule
+  /// Sink for the always-evaluated combinational cone (see evaluate()).
+  unsigned comb_sink_ = 0;
+};
+
+}  // namespace psmgen::ip

@@ -1,0 +1,47 @@
+#include "ip/multsum.hpp"
+
+namespace psmgen::ip {
+
+MultSumIP::MultSumIP()
+    : rtl::DeviceBase("MultSum"),
+      ra_(addRegister("ra", kOpBits)),
+      rb_(addRegister("rb", kOpBits)),
+      prod_(addRegister("prod", kAccBits)),
+      acc_(addRegister("acc", kAccBits)),
+      ovf_(addRegister("ovf", 1)) {
+  addInput("a", kOpBits);
+  addInput("b", kOpBits);
+  addInput("clear", 1);
+  addOutput("sum", kSumBits);
+}
+
+void MultSumIP::reset() {
+  ra_.clear();
+  rb_.clear();
+  prod_.clear();
+  acc_.clear();
+  ovf_.clear();
+}
+
+void MultSumIP::evaluate(const rtl::PortValues& in, rtl::PortValues& out) {
+  constexpr std::uint64_t kAccMask = (std::uint64_t{1} << kAccBits) - 1;
+
+  // Stage 3: accumulate the registered product.
+  const std::uint64_t acc_prev = acc_.value().toUint64();
+  const std::uint64_t raw = acc_prev + prod_.value().toUint64();
+  const std::uint64_t acc_next = in[kClear].bit(0) ? 0 : (raw & kAccMask);
+  acc_.set(common::BitVector(kAccBits, acc_next));
+  ovf_.set(common::BitVector(1, (raw >> kAccBits) & 1u));
+
+  // Stage 2: multiply the registered operands.
+  const std::uint64_t p = ra_.value().toUint64() * rb_.value().toUint64();
+  prod_.set(common::BitVector(kAccBits, p & kAccMask));
+
+  // Stage 1: register the operands.
+  ra_.set(in[kA]);
+  rb_.set(in[kB]);
+
+  out[kSum] = acc_.value().slice(0, kSumBits);
+}
+
+}  // namespace psmgen::ip

@@ -1,0 +1,45 @@
+#pragma once
+// 1KB synchronous-write / asynchronous-read RAM (Open Core Library style).
+//
+// Matches the paper's RAM benchmark interface: 44 primary input bits,
+// 32 primary output bits, 8192 memory elements (256 words x 32 bit).
+//
+// Ports:
+//   in  rst    1   synchronous reset (clears the memory array)
+//   in  ce     1   chip enable; when low the RAM ignores we/oe
+//   in  we     1   write enable (write wdata to mem[addr])
+//   in  oe     1   output enable (drive mem[addr] on rdata, else 0)
+//   in  addr   8
+//   in  wdata 32
+//   out rdata 32
+//
+// The RAM is the paper's example of a *data-dependent* IP: write power is
+// proportional to the Hamming distance between the old and new word, which
+// is what the regression refinement (Sec. IV) captures.
+
+#include "rtl/device.hpp"
+
+namespace psmgen::ip {
+
+class RamIP final : public rtl::DeviceBase {
+ public:
+  static constexpr unsigned kWords = 256;
+  static constexpr unsigned kWordBits = 32;
+
+  RamIP();
+
+  void reset() override;
+  std::size_t sourceLines() const override { return 101; }
+
+  // Port indices (stable API for testbenches).
+  enum Input { kRst = 0, kCe, kWe, kOe, kAddr, kWdata };
+  enum Output { kRdata = 0 };
+
+ protected:
+  void evaluate(const rtl::PortValues& in, rtl::PortValues& out) override;
+
+ private:
+  rtl::Register& mem_;
+};
+
+}  // namespace psmgen::ip

@@ -1,0 +1,369 @@
+#include "ip/testbench.hpp"
+
+namespace psmgen::ip {
+
+using common::BitVector;
+
+rtl::PortValues OpStimulus::next(std::size_t) {
+  while (queue_.empty()) {
+    emitNextOp();
+    ++op_index_;
+  }
+  rtl::PortValues v = std::move(queue_.front());
+  queue_.pop_front();
+  return v;
+}
+
+void OpStimulus::restart() {
+  queue_.clear();
+  op_index_ = 0;
+  rng_ = common::Rng(seed_);
+  onRestart();
+}
+
+// ---------------------------------------------------------------------------
+// RAM
+// ---------------------------------------------------------------------------
+
+void RamTestbench::pushOp(bool ce, bool we, bool oe, unsigned addr,
+                          std::uint64_t data, bool rst) {
+  rtl::PortValues v;
+  v.emplace_back(1, rst);
+  v.emplace_back(1, ce);
+  v.emplace_back(1, we);
+  v.emplace_back(1, oe);
+  v.emplace_back(8, addr);
+  v.emplace_back(32, data);
+  push(std::move(v));
+}
+
+void RamTestbench::emitNextOp() {
+  auto& r = rng();
+  if (mode_ == TestsetMode::Short) {
+    // Directed verification script, looped.
+    switch (opIndex() % 9) {
+      case 0:  // reset pulse, idle, then verify the cleared array
+        pushOp(false, false, false, 0, 0, true);
+        for (int i = 0; i < 8; ++i) pushOp(false, false, false, 0, 0);
+        for (unsigned a = 0; a < 32; ++a) {
+          pushOp(true, false, true, a * 8, 0);  // reads return zero
+        }
+        for (int i = 0; i < 8; ++i) pushOp(false, false, false, 0, 0);
+        break;
+      case 1:  // sequential write sweep with patterned data
+        for (unsigned a = 0; a < 256; ++a) {
+          // Equal-byte pattern xored with a non-equal-byte constant can
+          // never be all-zero, so the sweep stays within one write mode.
+          pushOp(true, true, false, a, (a * 0x01010101ull) ^ 0xDEADBEEFull);
+        }
+        break;
+      case 2:  // sequential read-back sweep
+        for (unsigned a = 0; a < 256; ++a) pushOp(true, false, true, a, 0);
+        break;
+      case 3:  // idle gap
+        for (int i = 0; i < 24; ++i) pushOp(false, false, false, 0, 0);
+        break;
+      case 4:  // same-address rewrite burst (data-dependent power)
+        for (int i = 0; i < 96; ++i) pushOp(true, true, false, 17, r.next());
+        break;
+      case 5:  // random reads
+        for (int i = 0; i < 64; ++i) {
+          pushOp(true, false, true, static_cast<unsigned>(r.uniform(256)), 0);
+        }
+        break;
+      case 6:  // random writes
+        for (int i = 0; i < 96; ++i) {
+          pushOp(true, true, false, static_cast<unsigned>(r.uniform(256)),
+                 r.next());
+        }
+        break;
+      case 7: {  // constrained-random mixed section (op adjacency coverage)
+        for (int burst = 0; burst < 10; ++burst) {
+          const std::uint64_t kind = r.uniform(4);
+          const std::size_t len = r.range(6, 24);
+          for (std::size_t i = 0; i < len; ++i) {
+            switch (kind) {
+              case 0: pushOp(false, false, false, 0, 0); break;
+              case 1:
+                pushOp(true, true, false,
+                       static_cast<unsigned>(r.uniform(256)), r.next());
+                break;
+              case 2:
+                pushOp(true, false, true,
+                       static_cast<unsigned>(r.uniform(256)), 0);
+                break;
+              default:
+                pushOp(true, false, true, static_cast<unsigned>(i) % 256, 0);
+                break;
+            }
+          }
+        }
+        break;
+      }
+      default:  // idle gap
+        for (int i = 0; i < 32; ++i) pushOp(false, false, false, 0, 0);
+        break;
+    }
+    return;
+  }
+  // Long testset: random operation mix with random burst lengths.
+  const std::uint64_t kind = r.uniform(5);
+  const std::size_t len = r.range(16, 160);
+  switch (kind) {
+    case 0:
+      for (std::size_t i = 0; i < len; ++i) pushOp(false, false, false, 0, 0);
+      break;
+    case 1: {
+      const unsigned base = static_cast<unsigned>(r.uniform(256));
+      for (std::size_t i = 0; i < len; ++i) {
+        pushOp(true, true, false, (base + static_cast<unsigned>(i)) % 256,
+               r.next());
+      }
+      break;
+    }
+    case 2: {
+      const unsigned addr = static_cast<unsigned>(r.uniform(256));
+      for (std::size_t i = 0; i < len; ++i) pushOp(true, true, false, addr, r.next());
+      break;
+    }
+    case 3:
+      for (std::size_t i = 0; i < len; ++i) {
+        pushOp(true, false, true, static_cast<unsigned>(r.uniform(256)), 0);
+      }
+      break;
+    default:
+      for (std::size_t i = 0; i < len; ++i) {
+        pushOp(true, false, true, static_cast<unsigned>(i) % 256, 0);
+      }
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MultSum
+// ---------------------------------------------------------------------------
+
+void MultSumTestbench::pushOp(std::uint64_t a, std::uint64_t b, bool clear) {
+  rtl::PortValues v;
+  v.emplace_back(24, a);
+  v.emplace_back(24, b);
+  v.emplace_back(1, clear);
+  push(std::move(v));
+}
+
+void MultSumTestbench::emitNextOp() {
+  auto& r = rng();
+  if (mode_ == TestsetMode::Short) {
+    switch (opIndex() % 6) {
+      case 0:  // clear, then idle (zero operands)
+        pushOp(0, 0, true);
+        for (int i = 0; i < 24; ++i) pushOp(0, 0, false);
+        break;
+      case 1:  // random MAC burst
+        for (int i = 0; i < 128; ++i) pushOp(r.next(), r.next(), false);
+        break;
+      case 2:  // constant-operand burst (low switching)
+        for (int i = 0; i < 48; ++i) pushOp(0x5A5A5A, 0x123456, false);
+        break;
+      case 3:  // ramp
+        for (std::uint64_t i = 1; i <= 64; ++i) pushOp(i * 3, i * 5, false);
+        break;
+      case 4:  // clear asserted while new operands are applied, then burst
+        pushOp(r.next(), r.next(), true);
+        for (int i = 0; i < 32; ++i) pushOp(r.next(), r.next(), false);
+        break;
+      default:  // idle
+        for (int i = 0; i < 40; ++i) pushOp(0, 0, false);
+        break;
+    }
+    return;
+  }
+  const std::uint64_t kind = r.uniform(4);
+  const std::size_t len = r.range(16, 144);
+  switch (kind) {
+    case 0:
+      pushOp(0, 0, true);
+      for (std::size_t i = 0; i < len; ++i) pushOp(0, 0, false);
+      break;
+    case 1:
+      for (std::size_t i = 0; i < len; ++i) pushOp(r.next(), r.next(), false);
+      break;
+    case 2: {
+      const std::uint64_t a = r.next();
+      const std::uint64_t b = r.next();
+      for (std::size_t i = 0; i < len; ++i) pushOp(a, b, false);
+      break;
+    }
+    default:
+      for (std::size_t i = 0; i < len; ++i) pushOp((i + 1) * 7, (i + 1) * 11, false);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AES
+// ---------------------------------------------------------------------------
+
+void AesTestbench::onRestart() {
+  key_ = BitVector(128);
+  data_ = BitVector(128);
+}
+
+void AesTestbench::pushCycles(std::size_t n, bool start, bool decrypt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    rtl::PortValues v;
+    v.emplace_back(1, 0);  // rst
+    v.emplace_back(1, 1);  // en
+    v.emplace_back(1, start && i == 0);
+    v.emplace_back(1, decrypt);
+    v.push_back(key_);
+    v.push_back(data_);
+    push(std::move(v));
+  }
+}
+
+void AesTestbench::emitNextOp() {
+  auto& r = rng();
+  constexpr std::size_t kBlockCycles = 12;  // start + 10 rounds + done
+  if (mode_ == TestsetMode::Short) {
+    switch (opIndex() % 5) {
+      case 0:  // idle
+        pushCycles(20, false, false);
+        break;
+      case 1:  // new key, burst of encryptions
+        key_ = r.bits(128);
+        for (int b = 0; b < 6; ++b) {
+          data_ = r.bits(128);
+          pushCycles(kBlockCycles, true, false);
+        }
+        break;
+      case 2:  // idle gap, then burst of decryptions with the current key
+        pushCycles(8, false, false);
+        for (int b = 0; b < 6; ++b) {
+          data_ = r.bits(128);
+          pushCycles(kBlockCycles, true, true);
+        }
+        break;
+      case 3:  // back-to-back alternating enc/dec
+        for (int b = 0; b < 8; ++b) {
+          data_ = r.bits(128);
+          pushCycles(kBlockCycles, true, b % 2 == 1);
+        }
+        break;
+      default:  // idle gap
+        pushCycles(32, false, false);
+        break;
+    }
+    return;
+  }
+  const std::uint64_t kind = r.uniform(3);
+  switch (kind) {
+    case 0:
+      pushCycles(r.range(8, 64), false, false);
+      break;
+    case 1:
+      key_ = r.bits(128);
+      [[fallthrough]];
+    default: {
+      const std::size_t blocks = r.range(1, 12);
+      const bool dec = r.chance(0.5);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        data_ = r.bits(128);
+        pushCycles(kBlockCycles, true, dec);
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Camellia
+// ---------------------------------------------------------------------------
+
+void CamelliaTestbench::onRestart() {
+  key_ = BitVector(128);
+  data_ = BitVector(128);
+}
+
+void CamelliaTestbench::pushCycles(std::size_t n, bool krdy, bool drdy,
+                                   bool decrypt, bool flush) {
+  for (std::size_t i = 0; i < n; ++i) {
+    rtl::PortValues v;
+    v.emplace_back(1, 0);  // rst
+    v.emplace_back(1, 1);  // en
+    v.emplace_back(1, krdy && i == 0);
+    v.emplace_back(1, drdy && i == 0);
+    v.emplace_back(1, decrypt);
+    v.emplace_back(1, flush && i == 0);
+    v.push_back(key_);
+    v.push_back(data_);
+    push(std::move(v));
+  }
+}
+
+void CamelliaTestbench::emitNextOp() {
+  auto& r = rng();
+  constexpr std::size_t kBlockCycles = 23;  // drdy + 21 busy + done
+  if (mode_ == TestsetMode::Short) {
+    switch (opIndex() % 6) {
+      case 0:  // load key, idle
+        key_ = r.bits(128);
+        pushCycles(1, true, false, false);
+        pushCycles(12, false, false, false);
+        break;
+      case 1:  // encryption burst
+        for (int b = 0; b < 4; ++b) {
+          data_ = r.bits(128);
+          pushCycles(kBlockCycles, false, true, false);
+        }
+        break;
+      case 2:  // idle gap, then decryption burst
+        pushCycles(6, false, false, false);
+        for (int b = 0; b < 4; ++b) {
+          data_ = r.bits(128);
+          pushCycles(kBlockCycles, false, true, true);
+        }
+        break;
+      case 3:  // flush + idle
+        pushCycles(1, false, false, false, true);
+        pushCycles(20, false, false, false);
+        break;
+      case 4:  // alternating enc/dec
+        for (int b = 0; b < 6; ++b) {
+          data_ = r.bits(128);
+          pushCycles(kBlockCycles, false, true, b % 2 == 1);
+        }
+        break;
+      default:  // idle gap
+        pushCycles(28, false, false, false);
+        break;
+    }
+    return;
+  }
+  const std::uint64_t kind = r.uniform(4);
+  switch (kind) {
+    case 0:
+      pushCycles(r.range(8, 48), false, false, false);
+      break;
+    case 1:
+      key_ = r.bits(128);
+      pushCycles(1, true, false, false);
+      pushCycles(4, false, false, false);
+      break;
+    case 2:
+      pushCycles(1, false, false, false, true);
+      pushCycles(r.range(4, 24), false, false, false);
+      break;
+    default: {
+      const std::size_t blocks = r.range(1, 10);
+      const bool dec = r.chance(0.5);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        data_ = r.bits(128);
+        pushCycles(kBlockCycles, false, true, dec);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace psmgen::ip

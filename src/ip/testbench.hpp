@@ -1,0 +1,119 @@
+#pragma once
+// Per-IP stimulus generators.
+//
+// The paper uses two training testsets (Sec. VI):
+//   - short-TS: the test sequences written for functional verification of
+//     each IP (directed operation scripts covering the IP's behaviours),
+//   - long-TS: a much longer testset that exercises the IP's functionality
+//     many times with different data (constrained-random operation mix).
+//
+// Each testbench emits whole *operations* (bursts of cycles) so that the
+// proposition traces expose the until/next temporal patterns the PSM
+// generator mines. Inputs are held stable within an operation, as a real
+// verification environment would drive a synchronous IP.
+
+#include <cstdint>
+#include <deque>
+
+#include "common/rng.hpp"
+#include "rtl/stimulus.hpp"
+
+namespace psmgen::ip {
+
+/// Base class: operations enqueue per-cycle input vectors into a buffer;
+/// next() drains it and asks for the next operation when empty.
+class OpStimulus : public rtl::Stimulus {
+ public:
+  rtl::PortValues next(std::size_t cycle) override;
+  void restart() override;
+
+ protected:
+  explicit OpStimulus(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  /// Appends at least one cycle worth of inputs to the buffer.
+  virtual void emitNextOp() = 0;
+  virtual void onRestart() {}
+
+  void push(rtl::PortValues v) { queue_.push_back(std::move(v)); }
+
+  common::Rng& rng() { return rng_; }
+  std::size_t opIndex() const { return op_index_; }
+
+ private:
+  std::deque<rtl::PortValues> queue_;
+  std::size_t op_index_ = 0;
+  std::uint64_t seed_;
+  common::Rng rng_;
+};
+
+enum class TestsetMode { Short, Long };
+
+/// RAM: reset, idle gaps, sequential/random write and read bursts, and
+/// same-address rewrite bursts (the data-dependent behaviour).
+class RamTestbench final : public OpStimulus {
+ public:
+  RamTestbench(TestsetMode mode, std::uint64_t seed)
+      : OpStimulus(seed), mode_(mode) {}
+
+ protected:
+  void emitNextOp() override;
+
+ private:
+  void pushOp(bool ce, bool we, bool oe, unsigned addr, std::uint64_t data,
+              bool rst = false);
+  TestsetMode mode_;
+};
+
+/// MultSum: accumulate bursts with random / constant / ramping operands,
+/// interleaved with clears and zero-operand idle stretches.
+class MultSumTestbench final : public OpStimulus {
+ public:
+  MultSumTestbench(TestsetMode mode, std::uint64_t seed)
+      : OpStimulus(seed), mode_(mode) {}
+
+ protected:
+  void emitNextOp() override;
+
+ private:
+  void pushOp(std::uint64_t a, std::uint64_t b, bool clear);
+  TestsetMode mode_;
+};
+
+/// AES: start pulses followed by the 10 busy rounds (inputs held), done,
+/// idle gaps; alternates encryption and decryption, changing keys.
+class AesTestbench final : public OpStimulus {
+ public:
+  AesTestbench(TestsetMode mode, std::uint64_t seed)
+      : OpStimulus(seed), mode_(mode) {}
+
+ protected:
+  void emitNextOp() override;
+  void onRestart() override;
+
+ private:
+  void pushCycles(std::size_t n, bool start, bool decrypt);
+  TestsetMode mode_;
+  common::BitVector key_{128};
+  common::BitVector data_{128};
+};
+
+/// Camellia: key loads (krdy), data blocks (drdy) with the 21 busy cycles,
+/// flushes, idle gaps; alternates encryption and decryption.
+class CamelliaTestbench final : public OpStimulus {
+ public:
+  CamelliaTestbench(TestsetMode mode, std::uint64_t seed)
+      : OpStimulus(seed), mode_(mode) {}
+
+ protected:
+  void emitNextOp() override;
+  void onRestart() override;
+
+ private:
+  void pushCycles(std::size_t n, bool krdy, bool drdy, bool decrypt,
+                  bool flush = false);
+  TestsetMode mode_;
+  common::BitVector key_{128};
+  common::BitVector data_{128};
+};
+
+}  // namespace psmgen::ip

@@ -1,0 +1,52 @@
+#include "power/activity.hpp"
+
+namespace psmgen::power {
+
+unsigned ActivitySample::totalRegisterToggles() const {
+  unsigned total = 0;
+  for (const unsigned t : register_toggles) total += t;
+  return total;
+}
+
+SwitchingActivityTracker::SwitchingActivityTracker(const rtl::Device& device)
+    : device_(device) {}
+
+void SwitchingActivityTracker::reset() {
+  prev_regs_.clear();
+  prev_in_.clear();
+  prev_out_.clear();
+  has_prev_ = false;
+}
+
+ActivitySample SwitchingActivityTracker::sample(const rtl::PortValues& in,
+                                                const rtl::PortValues& out) {
+  const auto& regs = device_.registers();
+  ActivitySample s;
+  s.register_toggles.resize(regs.size(), 0);
+  s.register_value_hash.resize(regs.size(), 0);
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    s.register_value_hash[i] = regs[i]->value().hash();
+  }
+  if (has_prev_) {
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+      s.register_toggles[i] =
+          common::BitVector::hammingDistance(regs[i]->value(), prev_regs_[i]);
+    }
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      s.input_toggles += common::BitVector::hammingDistance(in[i], prev_in_[i]);
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      s.output_toggles +=
+          common::BitVector::hammingDistance(out[i], prev_out_[i]);
+    }
+  }
+  prev_regs_.clear();
+  prev_regs_.reserve(regs.size());
+  for (const rtl::Register* r : regs) prev_regs_.push_back(r->value());
+  prev_in_ = in;
+  prev_out_ = out;
+  has_prev_ = true;
+  return s;
+}
+
+}  // namespace psmgen::power

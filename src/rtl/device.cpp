@@ -1,0 +1,64 @@
+#include "rtl/device.hpp"
+
+#include <stdexcept>
+
+namespace psmgen::rtl {
+
+void Register::set(const common::BitVector& v) {
+  if (v.width() != value_.width()) {
+    throw std::invalid_argument("Register::set: width mismatch for " + name_);
+  }
+  value_ = v;
+}
+
+unsigned Device::inputBits() const {
+  unsigned bits = 0;
+  for (const auto& p : inputPorts()) bits += p.width;
+  return bits;
+}
+
+unsigned Device::outputBits() const {
+  unsigned bits = 0;
+  for (const auto& p : outputPorts()) bits += p.width;
+  return bits;
+}
+
+std::size_t Device::memoryElements() const {
+  std::size_t bits = 0;
+  for (const Register* r : registers()) bits += r->width();
+  return bits;
+}
+
+void DeviceBase::tick(const PortValues& in, PortValues& out) {
+  if (in.size() != inputs_.size()) {
+    throw std::invalid_argument("Device::tick: input arity mismatch");
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i].width() != inputs_[i].width) {
+      throw std::invalid_argument("Device::tick: width mismatch on input " +
+                                  inputs_[i].name);
+    }
+  }
+  out.clear();
+  out.reserve(outputs_.size());
+  for (const auto& p : outputs_) out.emplace_back(p.width);
+  evaluate(in, out);
+}
+
+std::size_t DeviceBase::addInput(const std::string& port_name, unsigned width) {
+  inputs_.push_back({port_name, width});
+  return inputs_.size() - 1;
+}
+
+std::size_t DeviceBase::addOutput(const std::string& port_name, unsigned width) {
+  outputs_.push_back({port_name, width});
+  return outputs_.size() - 1;
+}
+
+Register& DeviceBase::addRegister(const std::string& reg_name, unsigned width) {
+  registers_.push_back(std::make_unique<Register>(reg_name, width));
+  register_views_.push_back(registers_.back().get());
+  return *registers_.back();
+}
+
+}  // namespace psmgen::rtl

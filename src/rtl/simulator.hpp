@@ -1,0 +1,39 @@
+#pragma once
+// Cycle-based simulator: drives a Device with a Stimulus and records the
+// functional trace (values of all PIs and POs per instant, paper Def. 2).
+// A per-cycle observer hook lets the power surrogate snapshot the register
+// file as the simulation advances.
+
+#include <functional>
+
+#include "rtl/device.hpp"
+#include "rtl/stimulus.hpp"
+#include "trace/functional_trace.hpp"
+
+namespace psmgen::rtl {
+
+/// Builds the trace variable set for a device: inputs first, then outputs.
+trace::VariableSet traceVariables(const Device& device);
+
+class Simulator {
+ public:
+  /// Called after every tick with (cycle, inputs, outputs).
+  using Observer =
+      std::function<void(std::size_t, const PortValues&, const PortValues&)>;
+
+  explicit Simulator(Device& device) : device_(device) {}
+
+  /// Resets the device, then simulates `cycles` cycles, recording the
+  /// functional trace. The observer (if any) fires after every cycle.
+  trace::FunctionalTrace run(Stimulus& stimulus, std::size_t cycles,
+                             const Observer& observer = nullptr);
+
+  /// Simulation without trace recording (for timing measurements).
+  void runSilent(Stimulus& stimulus, std::size_t cycles,
+                 const Observer& observer = nullptr);
+
+ private:
+  Device& device_;
+};
+
+}  // namespace psmgen::rtl

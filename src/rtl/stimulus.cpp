@@ -1,0 +1,57 @@
+#include "rtl/stimulus.hpp"
+
+#include <stdexcept>
+
+namespace psmgen::rtl {
+
+PortValues VectorStimulus::next(std::size_t cycle) {
+  if (vectors_.empty()) {
+    throw std::logic_error("VectorStimulus: empty vector set");
+  }
+  // Wrap around so callers can request more cycles than vectors.
+  return vectors_[cycle % vectors_.size()];
+}
+
+RandomStimulus::RandomStimulus(const Device& device, std::uint64_t seed)
+    : ports_(device.inputPorts()), seed_(seed), rng_(seed) {}
+
+PortValues RandomStimulus::next(std::size_t) {
+  PortValues values;
+  values.reserve(ports_.size());
+  for (const auto& p : ports_) values.push_back(rng_.bits(p.width));
+  return values;
+}
+
+void SequenceStimulus::add(std::unique_ptr<Stimulus> stim, std::size_t cycles) {
+  if (cycles == 0) throw std::invalid_argument("SequenceStimulus: zero cycles");
+  parts_.push_back({std::move(stim), cycles});
+}
+
+PortValues SequenceStimulus::next(std::size_t) {
+  if (parts_.empty()) {
+    throw std::logic_error("SequenceStimulus: no parts");
+  }
+  while (part_index_ < parts_.size() &&
+         part_cycle_ >= parts_[part_index_].cycles) {
+    ++part_index_;
+    part_cycle_ = 0;
+  }
+  // Past the end: keep replaying the last part.
+  const std::size_t idx = part_index_ < parts_.size() ? part_index_
+                                                      : parts_.size() - 1;
+  return parts_[idx].stim->next(part_cycle_++);
+}
+
+void SequenceStimulus::restart() {
+  part_index_ = 0;
+  part_cycle_ = 0;
+  for (auto& p : parts_) p.stim->restart();
+}
+
+std::size_t SequenceStimulus::totalCycles() const {
+  std::size_t total = 0;
+  for (const auto& p : parts_) total += p.cycles;
+  return total;
+}
+
+}  // namespace psmgen::rtl

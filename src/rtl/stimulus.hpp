@@ -1,0 +1,77 @@
+#pragma once
+// Stimulus interfaces for driving devices.
+//
+// A Stimulus produces one input-port value vector per clock cycle. The
+// paper's training traces come from functional-verification testbenches
+// (short-TS) and long randomized testsets (long-TS); concrete per-IP
+// stimuli live in src/ip/testbench.*. Generic building blocks here:
+//   - VectorStimulus: replays a pre-computed vector sequence,
+//   - RandomStimulus: uniformly random values on every port,
+//   - SequenceStimulus: concatenates stimuli back to back.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rtl/device.hpp"
+
+namespace psmgen::rtl {
+
+class Stimulus {
+ public:
+  virtual ~Stimulus() = default;
+
+  /// Input values for the given cycle (called with consecutive cycles
+  /// starting at 0 after each restart()).
+  virtual PortValues next(std::size_t cycle) = 0;
+
+  /// Rewinds any internal state so the stimulus can be replayed.
+  virtual void restart() {}
+};
+
+class VectorStimulus : public Stimulus {
+ public:
+  explicit VectorStimulus(std::vector<PortValues> vectors)
+      : vectors_(std::move(vectors)) {}
+
+  PortValues next(std::size_t cycle) override;
+  std::size_t length() const { return vectors_.size(); }
+
+ private:
+  std::vector<PortValues> vectors_;
+};
+
+class RandomStimulus : public Stimulus {
+ public:
+  RandomStimulus(const Device& device, std::uint64_t seed);
+
+  PortValues next(std::size_t cycle) override;
+  void restart() override { rng_ = common::Rng(seed_); }
+
+ private:
+  std::vector<PortDef> ports_;
+  std::uint64_t seed_;
+  common::Rng rng_;
+};
+
+class SequenceStimulus : public Stimulus {
+ public:
+  void add(std::unique_ptr<Stimulus> stim, std::size_t cycles);
+
+  PortValues next(std::size_t cycle) override;
+  void restart() override;
+
+  std::size_t totalCycles() const;
+
+ private:
+  struct Part {
+    std::unique_ptr<Stimulus> stim;
+    std::size_t cycles;
+  };
+  std::vector<Part> parts_;
+  std::size_t part_index_ = 0;
+  std::size_t part_cycle_ = 0;
+};
+
+}  // namespace psmgen::rtl

@@ -1,0 +1,37 @@
+#pragma once
+// Descriptive statistics used for power-state attributes <mu, sigma, n>.
+//
+// RunningStats implements Welford's online algorithm so that power
+// attributes can be accumulated in a single pass over a power trace, and
+// Chan's parallel-merge formula so that simplify/join can combine the
+// attributes of merged states without revisiting the raw samples.
+
+#include <cstddef>
+
+namespace psmgen::stats {
+
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulation into this one (Chan et al. update).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  /// Sample standard deviation; 0 for n < 2.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace psmgen::stats

@@ -1,0 +1,73 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace psmgen::stats {
+
+namespace {
+struct Moments {
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  double sxy = 0.0;
+};
+
+Moments computeMoments(const std::vector<double>& x,
+                       const std::vector<double>& y) {
+  Moments m;
+  const double n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    m.mean_x += x[i];
+    m.mean_y += y[i];
+  }
+  m.mean_x /= n;
+  m.mean_y /= n;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - m.mean_x;
+    const double dy = y[i] - m.mean_y;
+    m.sxx += dx * dx;
+    m.syy += dy * dy;
+    m.sxy += dx * dy;
+  }
+  return m;
+}
+}  // namespace
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("pearson: size mismatch");
+  }
+  if (x.size() < 2) return 0.0;
+  const Moments m = computeMoments(x, y);
+  if (m.sxx == 0.0 || m.syy == 0.0) return 0.0;
+  return m.sxy / std::sqrt(m.sxx * m.syy);
+}
+
+LinearFit linearRegression(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("linearRegression: size mismatch");
+  }
+  if (x.size() < 2) {
+    throw std::invalid_argument("linearRegression: need at least 2 points");
+  }
+  const Moments m = computeMoments(x, y);
+  LinearFit fit;
+  fit.n = x.size();
+  if (m.sxx == 0.0) {
+    fit.intercept = m.mean_y;
+    fit.slope = 0.0;
+    fit.pearson_r = 0.0;
+    fit.r_squared = 0.0;
+    return fit;
+  }
+  fit.slope = m.sxy / m.sxx;
+  fit.intercept = m.mean_y - fit.slope * m.mean_x;
+  fit.pearson_r = (m.syy == 0.0) ? 0.0 : m.sxy / std::sqrt(m.sxx * m.syy);
+  fit.r_squared = fit.pearson_r * fit.pearson_r;
+  return fit;
+}
+
+}  // namespace psmgen::stats

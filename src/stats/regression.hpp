@@ -1,0 +1,36 @@
+#pragma once
+// Simple linear regression and Pearson correlation.
+//
+// Used by the regression refinement of data-dependent power states
+// (paper Sec. IV): the power of a high-variance state is modelled as an
+// affine function of the Hamming distance between consecutive primary-
+// input values, but only when the Pearson correlation is strong enough —
+// the paper cites [11] for requiring a strong linear correlation as a
+// necessary condition for an accurate fit.
+
+#include <cstddef>
+#include <vector>
+
+namespace psmgen::stats {
+
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double pearson_r = 0.0;   ///< correlation of x and y
+  double r_squared = 0.0;   ///< coefficient of determination
+  std::size_t n = 0;
+
+  double predict(double x) const { return intercept + slope * x; }
+};
+
+/// Pearson correlation coefficient; returns 0 when either variable is
+/// constant (no linear relation can be established).
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Ordinary least squares fit of y = intercept + slope * x.
+/// Throws std::invalid_argument for mismatched sizes or n < 2.
+/// A constant x yields a horizontal line through the mean of y.
+LinearFit linearRegression(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+}  // namespace psmgen::stats

@@ -1,0 +1,20 @@
+#pragma once
+// Special functions needed by the t-tests: regularized incomplete beta
+// function and the Student-t cumulative distribution derived from it.
+// Implementation follows the Lentz continued-fraction evaluation
+// (Numerical Recipes style), accurate to ~1e-12 over the parameter ranges
+// used here.
+
+namespace psmgen::stats {
+
+/// Regularized incomplete beta function I_x(a, b), for a,b > 0, x in [0,1].
+double incompleteBeta(double a, double b, double x);
+
+/// CDF of the Student-t distribution with `dof` degrees of freedom.
+double studentTCdf(double t, double dof);
+
+/// Two-sided p-value of a t statistic with `dof` degrees of freedom:
+/// P(|T| >= |t|).
+double twoSidedTPValue(double t, double dof);
+
+}  // namespace psmgen::stats

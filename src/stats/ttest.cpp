@@ -1,0 +1,53 @@
+#include "stats/ttest.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/special.hpp"
+
+namespace psmgen::stats {
+
+TTestResult welchTTest(const Summary& a, const Summary& b) {
+  if (a.n < 2 || b.n < 2) {
+    throw std::invalid_argument("welchTTest: both samples need n >= 2");
+  }
+  const double va = a.stddev * a.stddev / static_cast<double>(a.n);
+  const double vb = b.stddev * b.stddev / static_cast<double>(b.n);
+  TTestResult r;
+  if (va + vb == 0.0) {
+    // Both populations are exactly constant: identical means are a
+    // perfect match, different means can never be merged.
+    r.t = (a.mean == b.mean) ? 0.0 : std::numeric_limits<double>::infinity();
+    r.dof = static_cast<double>(a.n + b.n - 2);
+    r.p_value = (a.mean == b.mean) ? 1.0 : 0.0;
+    return r;
+  }
+  r.t = (a.mean - b.mean) / std::sqrt(va + vb);
+  const double num = (va + vb) * (va + vb);
+  const double den = va * va / static_cast<double>(a.n - 1) +
+                     vb * vb / static_cast<double>(b.n - 1);
+  r.dof = den > 0.0 ? num / den : static_cast<double>(a.n + b.n - 2);
+  r.p_value = twoSidedTPValue(r.t, r.dof);
+  return r;
+}
+
+TTestResult oneSampleTTest(const Summary& a, double x) {
+  if (a.n < 2) {
+    throw std::invalid_argument("oneSampleTTest: population needs n >= 2");
+  }
+  TTestResult r;
+  r.dof = static_cast<double>(a.n - 1);
+  if (a.stddev == 0.0) {
+    r.t = (x == a.mean) ? 0.0 : std::numeric_limits<double>::infinity();
+    r.p_value = (x == a.mean) ? 1.0 : 0.0;
+    return r;
+  }
+  const double denom =
+      a.stddev * std::sqrt(1.0 + 1.0 / static_cast<double>(a.n));
+  r.t = (x - a.mean) / denom;
+  r.p_value = twoSidedTPValue(r.t, r.dof);
+  return r;
+}
+
+}  // namespace psmgen::stats

@@ -1,0 +1,34 @@
+#pragma once
+// Welch's unequal-variance t-test (paper Sec. IV-A Case 2) and the
+// one-sample variant used to compare a single next-pattern sample against
+// an until-pattern population (Case 3). Both operate on summary
+// statistics <mean, stddev, n> only — the merge procedures never revisit
+// raw power samples.
+
+#include <cstddef>
+
+namespace psmgen::stats {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t n = 0;
+};
+
+struct TTestResult {
+  double t = 0.0;       ///< test statistic
+  double dof = 0.0;     ///< (possibly fractional) degrees of freedom
+  double p_value = 1.0; ///< two-sided p-value
+};
+
+/// Welch's two-sample t-test. Requires n >= 2 on both sides.
+/// Degenerate zero-variance cases are resolved exactly: equal means give
+/// p = 1, different means give p = 0.
+TTestResult welchTTest(const Summary& a, const Summary& b);
+
+/// Tests whether a single observation `x` is consistent with having been
+/// drawn from the population summarized by `a` (prediction-interval form:
+/// t = (x - mean) / (s * sqrt(1 + 1/n)), dof = n - 1). Requires a.n >= 2.
+TTestResult oneSampleTTest(const Summary& a, double x);
+
+}  // namespace psmgen::stats

@@ -1,0 +1,14 @@
+#include "sysc/kernel.hpp"
+
+namespace psmgen::sysc {
+
+void Kernel::run(std::size_t cycles) {
+  for (Module* m : modules_) m->onReset();
+  for (std::size_t c = 0; c < cycles; ++c) {
+    now_ = c;
+    for (Module* m : modules_) m->onClock(c);
+    for (SignalBase* s : signals_) s->update();
+  }
+}
+
+}  // namespace psmgen::sysc

@@ -1,0 +1,82 @@
+#pragma once
+// SystemC-lite: a minimal cycle-driven simulation kernel.
+//
+// Stands in for the SystemC kernel the paper uses to host the generated
+// PSM module next to the IP's functional model (Sec. V / Table III). The
+// kernel drives registered modules through two phases per clock cycle:
+//   1. onClock(cycle)  - every module evaluates; signal writes are staged,
+//   2. signal update   - staged values become visible (delta semantics),
+// so modules communicate deterministically regardless of evaluation
+// order, like SystemC signals.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace psmgen::sysc {
+
+class Kernel;
+
+class SignalBase {
+ public:
+  virtual ~SignalBase() = default;
+
+ protected:
+  friend class Kernel;
+  virtual void update() = 0;
+};
+
+/// A delta-cycle signal: reads see the value committed at the end of the
+/// previous cycle; writes become visible after the update phase.
+template <typename T>
+class Signal final : public SignalBase {
+ public:
+  explicit Signal(T initial = T{}) : current_(initial), next_(initial) {}
+
+  const T& read() const { return current_; }
+  void write(T v) { next_ = std::move(v); }
+
+ protected:
+  void update() override { current_ = next_; }
+
+ private:
+  T current_;
+  T next_;
+};
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Called once per clock cycle during the evaluate phase.
+  virtual void onClock(std::size_t cycle) = 0;
+  /// Called once before the first cycle.
+  virtual void onReset() {}
+
+ private:
+  std::string name_;
+};
+
+class Kernel {
+ public:
+  /// Registers a module; modules evaluate in registration order. The
+  /// kernel does not take ownership.
+  void add(Module& module) { modules_.push_back(&module); }
+  /// Registers a signal for the update phase. No ownership.
+  void add(SignalBase& signal) { signals_.push_back(&signal); }
+
+  /// Resets all modules and runs `cycles` clock cycles.
+  void run(std::size_t cycles);
+
+  std::size_t now() const { return now_; }
+
+ private:
+  std::vector<Module*> modules_;
+  std::vector<SignalBase*> signals_;
+  std::size_t now_ = 0;
+};
+
+}  // namespace psmgen::sysc

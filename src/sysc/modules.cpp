@@ -1,0 +1,46 @@
+#include "sysc/modules.hpp"
+
+namespace psmgen::sysc {
+
+IpModule::IpModule(rtl::Device& device, rtl::Stimulus& stimulus,
+                   Signal<PortRow>& out)
+    : Module(device.name() + "_ip"), device_(device), stimulus_(stimulus),
+      out_(out) {}
+
+void IpModule::onReset() {
+  device_.reset();
+  stimulus_.restart();
+}
+
+void IpModule::onClock(std::size_t cycle) {
+  const rtl::PortValues in = stimulus_.next(cycle);
+  device_.tick(in, outputs_);
+  PortRow row;
+  row.reserve(in.size() + outputs_.size());
+  row.insert(row.end(), in.begin(), in.end());
+  row.insert(row.end(), outputs_.begin(), outputs_.end());
+  out_.write(std::move(row));
+}
+
+PsmModule::PsmModule(const core::PsmSimulator& simulator,
+                     const Signal<PortRow>& ports, Signal<double>& power_w)
+    : Module("psm_power_model"), simulator_(simulator), ports_(ports),
+      power_w_(power_w) {}
+
+void PsmModule::onReset() {
+  session_ = std::make_unique<core::PsmSimulator::Session>(
+      simulator_.startSession());
+  total_ = 0.0;
+  cycles_ = 0;
+}
+
+void PsmModule::onClock(std::size_t) {
+  const PortRow& row = ports_.read();
+  if (row.empty()) return;  // IP has not produced its first values yet
+  const double watts = session_->step(row);
+  power_w_.write(watts);
+  total_ += watts;
+  ++cycles_;
+}
+
+}  // namespace psmgen::sysc

@@ -1,0 +1,59 @@
+#pragma once
+// SystemC-lite modules for the Table III co-simulation experiment:
+//   - IpModule: hosts an rtl::Device driven by a Stimulus and publishes
+//     the per-cycle PI/PO values on a signal,
+//   - PsmModule: the generated power model; watches the IP's port signal
+//     and produces the per-cycle power estimate (paper Sec. III-C: "its
+//     simulation is synchronized with the simulation of the corresponding
+//     IP by connecting primary inputs and outputs of the IP to the PSM").
+
+#include <memory>
+#include <vector>
+
+#include "core/psm_simulator.hpp"
+#include "rtl/device.hpp"
+#include "rtl/stimulus.hpp"
+#include "sysc/kernel.hpp"
+
+namespace psmgen::sysc {
+
+/// The IP's PI and PO values for one cycle, in trace-variable order
+/// (inputs first, then outputs).
+using PortRow = std::vector<common::BitVector>;
+
+class IpModule final : public Module {
+ public:
+  IpModule(rtl::Device& device, rtl::Stimulus& stimulus, Signal<PortRow>& out);
+
+  void onReset() override;
+  void onClock(std::size_t cycle) override;
+
+ private:
+  rtl::Device& device_;
+  rtl::Stimulus& stimulus_;
+  Signal<PortRow>& out_;
+  rtl::PortValues outputs_;
+};
+
+class PsmModule final : public Module {
+ public:
+  PsmModule(const core::PsmSimulator& simulator, const Signal<PortRow>& ports,
+            Signal<double>& power_w);
+
+  void onReset() override;
+  void onClock(std::size_t cycle) override;
+
+  const core::PsmSimulator::Session& session() const { return *session_; }
+  double totalEstimatedPower() const { return total_; }
+  std::size_t cycles() const { return cycles_; }
+
+ private:
+  const core::PsmSimulator& simulator_;
+  const Signal<PortRow>& ports_;
+  Signal<double>& power_w_;
+  std::unique_ptr<core::PsmSimulator::Session> session_;
+  double total_ = 0.0;
+  std::size_t cycles_ = 0;
+};
+
+}  // namespace psmgen::sysc

@@ -1,0 +1,210 @@
+// psmgen — command-line front end for the characterization flow.
+//
+// Usage:
+//   psmgen generate --func a.csv --power a.pw [--func b.csv --power b.pw ...]
+//                   [--dot out.dot] [--systemc out.cpp] [--plain]
+//   psmgen estimate --func train.csv --power train.pw [...]
+//                   --eval eval.csv [--ref eval.pw]
+//   psmgen demo <ram|multsum|aes|camellia>
+//
+// `generate` trains PSMs from functional/power trace pairs (formats in
+// trace/trace_io.hpp) and emits a summary plus optional Graphviz / SystemC
+// artifacts. `estimate` additionally simulates the PSMs on an evaluation
+// trace, printing the per-instant power estimate to stdout as CSV and the
+// MRE when a reference is given. `demo` runs the built-in characterization
+// of one of the paper's benchmark IPs end to end.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/codegen.hpp"
+#include "core/dot_export.hpp"
+#include "core/flow.hpp"
+#include "ip/ip_factory.hpp"
+#include "power/gate_estimator.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace psmgen;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  psmgen generate --func F.csv --power F.pw [...] "
+               "[--dot out.dot] [--systemc out.cpp] [--plain]\n"
+               "  psmgen estimate --func F.csv --power F.pw [...] "
+               "--eval E.csv [--ref E.pw]\n"
+               "  psmgen demo <ram|multsum|aes|camellia>\n");
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> func;
+  std::vector<std::string> power;
+  std::string eval;
+  std::string ref;
+  std::string dot;
+  std::string systemc;
+  bool plain = false;
+};
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--func") {
+      const char* v = next();
+      if (!v) return false;
+      args.func.push_back(v);
+    } else if (flag == "--power") {
+      const char* v = next();
+      if (!v) return false;
+      args.power.push_back(v);
+    } else if (flag == "--eval") {
+      const char* v = next();
+      if (!v) return false;
+      args.eval = v;
+    } else if (flag == "--ref") {
+      const char* v = next();
+      if (!v) return false;
+      args.ref = v;
+    } else if (flag == "--dot") {
+      const char* v = next();
+      if (!v) return false;
+      args.dot = v;
+    } else if (flag == "--systemc") {
+      const char* v = next();
+      if (!v) return false;
+      args.systemc = v;
+    } else if (flag == "--plain") {
+      args.plain = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return !args.func.empty() && args.func.size() == args.power.size();
+}
+
+void summarize(const core::CharacterizationFlow& flow,
+               const core::BuildReport& report) {
+  std::fprintf(stderr,
+               "psmgen: %zu atoms, %zu propositions, %zu raw states -> "
+               "%zu states / %zu transitions (%zu refined), %.3f s\n",
+               report.atoms, report.propositions, report.raw_states,
+               report.states, report.transitions, report.refined_states,
+               report.generation_seconds);
+  for (const auto& s : flow.psm().states()) {
+    std::fprintf(stderr, "  s%-3d mu=%.6e W sigma=%.3e n=%zu %s\n", s.id,
+                 s.power.mean, s.power.stddev, s.power.n,
+                 s.regression ? "[regression]" : "");
+  }
+}
+
+void writeArtifacts(const core::CharacterizationFlow& flow, const Args& args) {
+  if (!args.dot.empty()) {
+    std::ofstream os(args.dot);
+    core::writeDot(os, flow.psm(), flow.domain());
+    std::fprintf(stderr, "psmgen: wrote %s\n", args.dot.c_str());
+  }
+  if (!args.systemc.empty()) {
+    core::CodegenOptions opt;
+    opt.style = args.plain ? core::CodegenStyle::Plain
+                           : core::CodegenStyle::SystemC;
+    std::ofstream os(args.systemc);
+    os << core::generateModel(flow.psm(), flow.domain(), opt);
+    std::fprintf(stderr, "psmgen: wrote %s\n", args.systemc.c_str());
+  }
+}
+
+int runGenerate(const Args& args, bool estimate) {
+  core::CharacterizationFlow flow;
+  for (std::size_t i = 0; i < args.func.size(); ++i) {
+    flow.addTrainingTrace(trace::loadFunctionalTrace(args.func[i]),
+                          trace::loadPowerTrace(args.power[i]));
+  }
+  const core::BuildReport report = flow.build();
+  summarize(flow, report);
+  writeArtifacts(flow, args);
+  if (!estimate) return 0;
+
+  const trace::FunctionalTrace eval = trace::loadFunctionalTrace(args.eval);
+  const core::SimResult sim = flow.estimate(eval);
+  std::printf("instant,power_w\n");
+  for (std::size_t t = 0; t < sim.estimate.size(); ++t) {
+    std::printf("%zu,%.9e\n", t, sim.estimate[t]);
+  }
+  std::fprintf(stderr,
+               "psmgen: %zu instants, WSP %.2f %%, %zu unexpected, "
+               "%zu lost\n",
+               sim.estimate.size(), sim.wspPercent(),
+               sim.unexpected_behaviours, sim.lost_instants);
+  if (!args.ref.empty()) {
+    const trace::PowerTrace ref = trace::loadPowerTrace(args.ref);
+    std::vector<double> r(ref.samples().begin(),
+                          ref.samples().begin() +
+                              static_cast<std::ptrdiff_t>(sim.estimate.size()));
+    std::fprintf(stderr, "psmgen: MRE vs reference = %.2f %%\n",
+                 100.0 * trace::meanRelativeError(sim.estimate, r));
+  }
+  return 0;
+}
+
+int runDemo(const std::string& name) {
+  ip::IpKind kind;
+  if (name == "ram") {
+    kind = ip::IpKind::Ram;
+  } else if (name == "multsum") {
+    kind = ip::IpKind::MultSum;
+  } else if (name == "aes") {
+    kind = ip::IpKind::Aes;
+  } else if (name == "camellia") {
+    kind = ip::IpKind::Camellia;
+  } else {
+    return usage();
+  }
+  auto device = ip::makeDevice(kind);
+  power::GateLevelEstimator estimator(*device, ip::powerConfig(kind));
+  core::CharacterizationFlow flow;
+  for (const ip::TraceSpec& spec : ip::shortTSPlan(kind)) {
+    auto tb = ip::makeTestbench(kind, ip::TestsetMode::Short, spec.seed);
+    auto pair = estimator.run(*tb, spec.cycles);
+    flow.addTrainingTrace(std::move(pair.functional), std::move(pair.power));
+  }
+  const core::BuildReport report = flow.build();
+  summarize(flow, report);
+  auto tb = ip::makeTestbench(kind, ip::TestsetMode::Long, 0xC11);
+  auto eval = estimator.run(*tb, 20000);
+  const core::SimResult sim = flow.estimate(eval.functional);
+  std::fprintf(stderr, "psmgen: unseen-workload MRE = %.2f %%\n",
+               100.0 * trace::meanRelativeError(sim.estimate,
+                                                eval.power.samples()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "demo" && argc == 3) return runDemo(argv[2]);
+    Args args;
+    if (!parse(argc, argv, args)) return usage();
+    if (cmd == "generate") return runGenerate(args, /*estimate=*/false);
+    if (cmd == "estimate" && !args.eval.empty()) {
+      return runGenerate(args, /*estimate=*/true);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psmgen: error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,61 @@
+#pragma once
+// FunctionalTrace (paper Def. 2): a finite sequence of evaluations of the
+// variable set V (primary inputs and outputs) over simulation instants.
+//
+// The trace is stored row-major: step(t) is the vector of BitVector values
+// of all variables at instant t, in VariableSet order. The trace also
+// provides the per-instant input Hamming distance used by the regression
+// refinement (Sec. IV).
+
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "trace/variable.hpp"
+
+namespace psmgen::trace {
+
+class FunctionalTrace {
+ public:
+  FunctionalTrace() = default;
+  explicit FunctionalTrace(VariableSet vars) : vars_(std::move(vars)) {}
+
+  const VariableSet& variables() const { return vars_; }
+
+  /// Appends a simulation instant. The row must contain one value per
+  /// variable with matching widths; throws std::invalid_argument otherwise.
+  void append(std::vector<common::BitVector> row);
+
+  std::size_t length() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const std::vector<common::BitVector>& step(std::size_t t) const {
+    return rows_.at(t);
+  }
+  const common::BitVector& value(std::size_t t, int var) const {
+    return rows_.at(t).at(static_cast<std::size_t>(var));
+  }
+
+  /// Hamming distance between the concatenated input variables at instants
+  /// t and t-1; 0 for t == 0.
+  unsigned inputHammingDistance(std::size_t t) const;
+
+  /// Hamming distance over *all* variables (PIs and POs) between instants
+  /// t and t-1; 0 for t == 0. The regression refinement observes both
+  /// directions, as the methodology is defined over the IP's full
+  /// black-box interface.
+  unsigned rowHammingDistance(std::size_t t) const;
+
+  /// Keeps instants [start, start+len) only.
+  FunctionalTrace subtrace(std::size_t start, std::size_t len) const;
+
+  /// Concatenates another trace with the same variable set.
+  void extend(const FunctionalTrace& other);
+
+  bool operator==(const FunctionalTrace&) const = default;
+
+ private:
+  VariableSet vars_;
+  std::vector<std::vector<common::BitVector>> rows_;
+};
+
+}  // namespace psmgen::trace

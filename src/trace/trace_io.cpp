@@ -1,0 +1,133 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace psmgen::trace {
+
+namespace {
+constexpr const char* kFunctionalHeader = "# psmgen functional trace v1";
+constexpr const char* kPowerHeader = "# psmgen power trace v1";
+
+VarKind parseKind(const std::string& s) {
+  if (s == "in") return VarKind::Input;
+  if (s == "out") return VarKind::Output;
+  throw std::runtime_error("trace_io: bad variable kind: " + s);
+}
+
+std::string kindName(VarKind k) {
+  return k == VarKind::Input ? "in" : "out";
+}
+}  // namespace
+
+void writeFunctionalTrace(std::ostream& os, const FunctionalTrace& trace) {
+  os << kFunctionalHeader << "\n";
+  std::vector<std::string> cols;
+  for (const auto& v : trace.variables().all()) {
+    cols.push_back(v.name + ":" + kindName(v.kind) + ":" +
+                   std::to_string(v.width));
+  }
+  os << common::join(cols, ",") << "\n";
+  for (std::size_t t = 0; t < trace.length(); ++t) {
+    std::vector<std::string> cells;
+    for (const auto& value : trace.step(t)) cells.push_back(value.toHex());
+    os << common::join(cells, ",") << "\n";
+  }
+}
+
+FunctionalTrace readFunctionalTrace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || common::trim(line) != kFunctionalHeader) {
+    throw std::runtime_error("trace_io: missing functional trace header");
+  }
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("trace_io: missing variable declaration line");
+  }
+  VariableSet vars;
+  for (const auto& col : common::split(common::trim(line), ',')) {
+    const auto fields = common::split(col, ':');
+    if (fields.size() != 3) {
+      throw std::runtime_error("trace_io: bad variable declaration: " + col);
+    }
+    vars.add(fields[0], static_cast<unsigned>(std::stoul(fields[2])),
+             parseKind(fields[1]));
+  }
+  FunctionalTrace trace(vars);
+  while (std::getline(is, line)) {
+    const std::string t = common::trim(line);
+    if (t.empty()) continue;
+    const auto cells = common::split(t, ',');
+    if (cells.size() != vars.size()) {
+      throw std::runtime_error("trace_io: row arity mismatch");
+    }
+    std::vector<common::BitVector> row;
+    row.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      row.push_back(common::BitVector::fromHex(cells[i], vars[i].width));
+    }
+    trace.append(std::move(row));
+  }
+  return trace;
+}
+
+void writePowerTrace(std::ostream& os, const PowerTrace& trace) {
+  os << kPowerHeader << "\n";
+  os.precision(17);
+  os << trace.params().vdd << "," << trace.params().clock_hz << ","
+     << trace.params().cap_per_bit << "\n";
+  for (const double s : trace.samples()) os << s << "\n";
+}
+
+PowerTrace readPowerTrace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || common::trim(line) != kPowerHeader) {
+    throw std::runtime_error("trace_io: missing power trace header");
+  }
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("trace_io: missing power parameter line");
+  }
+  const auto fields = common::split(common::trim(line), ',');
+  if (fields.size() != 3) {
+    throw std::runtime_error("trace_io: bad power parameter line");
+  }
+  PowerParams params;
+  params.vdd = std::stod(fields[0]);
+  params.clock_hz = std::stod(fields[1]);
+  params.cap_per_bit = std::stod(fields[2]);
+  PowerTrace trace(params);
+  while (std::getline(is, line)) {
+    const std::string t = common::trim(line);
+    if (t.empty()) continue;
+    trace.append(std::stod(t));
+  }
+  return trace;
+}
+
+void saveFunctionalTrace(const std::string& path, const FunctionalTrace& trace) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("trace_io: cannot open " + path);
+  writeFunctionalTrace(os, trace);
+}
+
+FunctionalTrace loadFunctionalTrace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("trace_io: cannot open " + path);
+  return readFunctionalTrace(is);
+}
+
+void savePowerTrace(const std::string& path, const PowerTrace& trace) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("trace_io: cannot open " + path);
+  writePowerTrace(os, trace);
+}
+
+PowerTrace loadPowerTrace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("trace_io: cannot open " + path);
+  return readPowerTrace(is);
+}
+
+}  // namespace psmgen::trace

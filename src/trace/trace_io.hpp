@@ -1,0 +1,34 @@
+#pragma once
+// CSV persistence for functional and power traces.
+//
+// Functional trace format:
+//   # psmgen functional trace v1
+//   name:kind:width,name:kind:width,...
+//   <hex>,<hex>,...            (one row per instant, MSB-first hex values)
+//
+// Power trace format:
+//   # psmgen power trace v1
+//   vdd,clock_hz,cap_per_bit
+//   <sample>                   (one double per line)
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/functional_trace.hpp"
+#include "trace/power_trace.hpp"
+
+namespace psmgen::trace {
+
+void writeFunctionalTrace(std::ostream& os, const FunctionalTrace& trace);
+FunctionalTrace readFunctionalTrace(std::istream& is);
+
+void writePowerTrace(std::ostream& os, const PowerTrace& trace);
+PowerTrace readPowerTrace(std::istream& is);
+
+/// File-path convenience wrappers; throw std::runtime_error on I/O failure.
+void saveFunctionalTrace(const std::string& path, const FunctionalTrace& trace);
+FunctionalTrace loadFunctionalTrace(const std::string& path);
+void savePowerTrace(const std::string& path, const PowerTrace& trace);
+PowerTrace loadPowerTrace(const std::string& path);
+
+}  // namespace psmgen::trace

@@ -1,0 +1,23 @@
+#pragma once
+// Minimal IEEE-1364 VCD (value change dump) writer so functional traces can
+// be inspected in standard waveform viewers (GTKWave etc.). Write-only:
+// the methodology itself consumes the in-memory trace types.
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/functional_trace.hpp"
+
+namespace psmgen::trace {
+
+/// Dumps the whole trace as a VCD file with one change set per instant.
+/// `timescale` is emitted verbatim (e.g. "1ns"); `top` names the scope.
+void writeVcd(std::ostream& os, const FunctionalTrace& trace,
+              const std::string& top = "dut",
+              const std::string& timescale = "1ns");
+
+void saveVcd(const std::string& path, const FunctionalTrace& trace,
+             const std::string& top = "dut",
+             const std::string& timescale = "1ns");
+
+}  // namespace psmgen::trace

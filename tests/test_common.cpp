@@ -1,0 +1,124 @@
+// Unit tests for the deterministic PRNG and string helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace psmgen::common {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniformReal();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+  // Parameterized form.
+  Rng rng2(14);
+  double s = 0.0;
+  for (int i = 0; i < kN; ++i) s += rng2.gaussian(5.0, 2.0);
+  EXPECT_NEAR(s / kN, 5.0, 0.1);
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, BitsDensity) {
+  Rng rng(17);
+  const BitVector v = rng.bits(4096);
+  EXPECT_EQ(v.width(), 4096u);
+  EXPECT_NEAR(static_cast<double>(v.popcount()), 2048.0, 150.0);
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(startsWith("ks_subkey", "ks_"));
+  EXPECT_FALSE(startsWith("k", "ks_"));
+}
+
+TEST(Strings, FormatAndPad) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(padLeft("x", 3), "  x");
+  EXPECT_EQ(padRight("x", 3), "x  ");
+  EXPECT_EQ(padLeft("xyz", 2), "xyz");
+}
+
+}  // namespace
+}  // namespace psmgen::common

@@ -1,0 +1,134 @@
+// End-to-end tests of the CharacterizationFlow on a small synthetic IP:
+// a two-mode device (idle / busy) whose busy power is data-dependent.
+// Checks that the flow mines a compact PSM, that training-trace
+// re-simulation has near-zero MRE, and that the ablation knobs behave.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/flow.hpp"
+
+namespace psmgen {
+namespace {
+
+using common::BitVector;
+
+trace::VariableSet toyVars() {
+  trace::VariableSet vars;
+  vars.add("run", 1, trace::VarKind::Input);
+  vars.add("data", 8, trace::VarKind::Input);
+  vars.add("out", 8, trace::VarKind::Output);
+  return vars;
+}
+
+/// Builds a toy training pair: alternating idle stretches (run=0,
+/// power ~1.0) and busy stretches (run=1, power = 2.0 + 0.5 * HD(data)).
+void buildToyPair(std::uint64_t seed, std::size_t ops,
+                  trace::FunctionalTrace& f, trace::PowerTrace& p) {
+  common::Rng rng(seed);
+  f = trace::FunctionalTrace(toyVars());
+  p = trace::PowerTrace();
+  BitVector prev_data(8, 0);
+  BitVector data(8, 0);
+  for (std::size_t op = 0; op < ops; ++op) {
+    const bool busy = op % 2 == 1;
+    const std::size_t len = 4 + rng.uniform(8);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (busy) data = rng.bits(8);
+      const unsigned hd = BitVector::hammingDistance(data, prev_data);
+      f.append({BitVector(1, busy), data, BitVector(8, busy ? 0xFF : 0)});
+      p.append(busy ? 2.0 + 0.5 * hd : 1.0);
+      prev_data = data;
+    }
+  }
+}
+
+core::FlowConfig toyConfig() {
+  core::FlowConfig cfg;
+  cfg.miner.max_toggle_rate = 0.6;
+  return cfg;
+}
+
+TEST(Flow, BuildsCompactPsmFromMultipleTraces) {
+  core::CharacterizationFlow flow(toyConfig());
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    trace::FunctionalTrace f;
+    trace::PowerTrace p;
+    buildToyPair(s, 40, f, p);
+    flow.addTrainingTrace(std::move(f), std::move(p));
+  }
+  const core::BuildReport report = flow.build();
+  EXPECT_GT(report.atoms, 0u);
+  EXPECT_GT(report.raw_states, report.states);
+  EXPECT_LE(flow.psm().stateCount(), 8u);
+  EXPECT_GE(flow.psm().stateCount(), 2u);
+  EXPECT_GT(report.generation_seconds, 0.0);
+}
+
+TEST(Flow, TrainingTraceHasLowMre) {
+  core::CharacterizationFlow flow(toyConfig());
+  trace::FunctionalTrace f0;
+  trace::PowerTrace p0;
+  buildToyPair(7, 60, f0, p0);
+  flow.addTrainingTrace(f0, p0);
+  flow.build();
+  const double mre = flow.evaluateMre(f0, p0);
+  // Busy power is data-dependent; the regression refinement must capture
+  // it, leaving only model error.
+  EXPECT_LT(mre, 0.05);
+}
+
+TEST(Flow, GeneralizesToUnseenTraceOfSameBehaviour) {
+  core::CharacterizationFlow flow(toyConfig());
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    trace::FunctionalTrace f;
+    trace::PowerTrace p;
+    buildToyPair(s, 40, f, p);
+    flow.addTrainingTrace(std::move(f), std::move(p));
+  }
+  flow.build();
+  trace::FunctionalTrace f_new;
+  trace::PowerTrace p_new;
+  buildToyPair(99, 60, f_new, p_new);
+  const core::SimResult r = flow.estimate(f_new);
+  EXPECT_EQ(r.estimate.size(), f_new.length());
+  const double mre = trace::meanRelativeError(
+      r.estimate, std::vector<double>(p_new.samples().begin(),
+                                      p_new.samples().end()));
+  EXPECT_LT(mre, 0.10);
+  EXPECT_LT(r.wspPercent(), 20.0);
+}
+
+TEST(Flow, RefinementAblationRaisesMre) {
+  auto run = [](bool refine) {
+    core::FlowConfig cfg = toyConfig();
+    cfg.apply_refine = refine;
+    core::CharacterizationFlow flow(cfg);
+    trace::FunctionalTrace f;
+    trace::PowerTrace p;
+    buildToyPair(5, 60, f, p);
+    flow.addTrainingTrace(f, p);
+    flow.build();
+    return flow.evaluateMre(f, p);
+  };
+  const double with_refine = run(true);
+  const double without_refine = run(false);
+  EXPECT_LT(with_refine, without_refine);
+}
+
+TEST(Flow, RejectsMismatchedTraces) {
+  core::CharacterizationFlow flow;
+  trace::FunctionalTrace f;
+  trace::PowerTrace p;
+  buildToyPair(1, 10, f, p);
+  trace::PowerTrace short_p = p.subtrace(0, f.length() - 5);
+  EXPECT_THROW(flow.addTrainingTrace(f, short_p), std::invalid_argument);
+  EXPECT_THROW(flow.build(), std::logic_error);
+
+  flow.addTrainingTrace(f, p);
+  trace::FunctionalTrace other(trace::VariableSet{});
+  EXPECT_THROW(flow.addTrainingTrace(other, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psmgen

@@ -1,0 +1,319 @@
+// Unit tests for the four benchmark IPs: functional correctness (AES
+// against FIPS-197, Camellia against RFC 3713), RAM/MultSum behaviour,
+// Table I interface characteristics, and testbench determinism.
+
+#include <gtest/gtest.h>
+
+#include "ip/aes.hpp"
+#include "ip/camellia.hpp"
+#include "ip/ip_factory.hpp"
+#include "ip/multsum.hpp"
+#include "ip/ram.hpp"
+#include "rtl/simulator.hpp"
+
+namespace psmgen::ip {
+namespace {
+
+using common::BitVector;
+
+// ---------------------------------------------------------------------
+// RAM
+// ---------------------------------------------------------------------
+
+rtl::PortValues ramOp(bool rst, bool ce, bool we, bool oe, unsigned addr,
+                      std::uint64_t data) {
+  return {BitVector(1, rst), BitVector(1, ce), BitVector(1, we),
+          BitVector(1, oe), BitVector(8, addr), BitVector(32, data)};
+}
+
+TEST(RamIP, WriteReadBack) {
+  RamIP ram;
+  ram.reset();
+  rtl::PortValues out;
+  ram.tick(ramOp(false, true, true, false, 42, 0xDEADBEEF), out);
+  ram.tick(ramOp(false, true, false, true, 42, 0), out);
+  EXPECT_EQ(out[RamIP::kRdata].toUint64(), 0xDEADBEEFu);
+  // Other addresses still zero.
+  ram.tick(ramOp(false, true, false, true, 43, 0), out);
+  EXPECT_EQ(out[RamIP::kRdata].toUint64(), 0u);
+}
+
+TEST(RamIP, ChipEnableGatesEverything) {
+  RamIP ram;
+  ram.reset();
+  rtl::PortValues out;
+  ram.tick(ramOp(false, false, true, true, 7, 0x123), out);
+  EXPECT_TRUE(out[RamIP::kRdata].isZero());
+  ram.tick(ramOp(false, true, false, true, 7, 0), out);
+  EXPECT_TRUE(out[RamIP::kRdata].isZero());  // write was gated
+}
+
+TEST(RamIP, ResetClearsArray) {
+  RamIP ram;
+  ram.reset();
+  rtl::PortValues out;
+  ram.tick(ramOp(false, true, true, false, 3, 0xFFFFFFFF), out);
+  ram.tick(ramOp(true, false, false, false, 0, 0), out);
+  ram.tick(ramOp(false, true, false, true, 3, 0), out);
+  EXPECT_TRUE(out[RamIP::kRdata].isZero());
+}
+
+TEST(RamIP, TableICharacteristics) {
+  RamIP ram;
+  EXPECT_EQ(ram.inputBits(), 44u);
+  EXPECT_EQ(ram.outputBits(), 32u);
+  EXPECT_EQ(ram.memoryElements(), 8192u);
+}
+
+// ---------------------------------------------------------------------
+// MultSum
+// ---------------------------------------------------------------------
+
+rtl::PortValues macOp(std::uint64_t a, std::uint64_t b, bool clear) {
+  return {BitVector(24, a), BitVector(24, b), BitVector(1, clear)};
+}
+
+TEST(MultSumIP, PipelinedAccumulation) {
+  MultSumIP mac;
+  mac.reset();
+  rtl::PortValues out;
+  // Three-stage pipeline: product of inputs at cycle t reaches the
+  // accumulator at cycle t+2.
+  mac.tick(macOp(3, 5, false), out);   // regs <- (3,5)
+  mac.tick(macOp(7, 11, false), out);  // prod <- 15, regs <- (7,11)
+  mac.tick(macOp(0, 0, false), out);   // acc <- 15, prod <- 77
+  EXPECT_EQ(out[MultSumIP::kSum].toUint64(), 15u);
+  mac.tick(macOp(0, 0, false), out);   // acc <- 92
+  EXPECT_EQ(out[MultSumIP::kSum].toUint64(), 92u);
+}
+
+TEST(MultSumIP, ClearResetsAccumulator) {
+  MultSumIP mac;
+  mac.reset();
+  rtl::PortValues out;
+  mac.tick(macOp(100, 100, false), out);
+  mac.tick(macOp(0, 0, false), out);
+  mac.tick(macOp(0, 0, false), out);
+  EXPECT_EQ(out[MultSumIP::kSum].toUint64(), 10000u);
+  mac.tick(macOp(0, 0, true), out);
+  EXPECT_EQ(out[MultSumIP::kSum].toUint64(), 0u);
+}
+
+TEST(MultSumIP, TableICharacteristics) {
+  MultSumIP mac;
+  EXPECT_EQ(mac.inputBits(), 49u);
+  EXPECT_EQ(mac.outputBits(), 32u);
+}
+
+// ---------------------------------------------------------------------
+// AES (FIPS-197)
+// ---------------------------------------------------------------------
+
+TEST(AesCore, Fips197AppendixCVector) {
+  const aes::Block key = aes::toBlock(
+      BitVector::fromHex("000102030405060708090a0b0c0d0e0f"));
+  const aes::Block pt = aes::toBlock(
+      BitVector::fromHex("00112233445566778899aabbccddeeff"));
+  const aes::Block ct = aes::encryptBlock(pt, key);
+  EXPECT_EQ(aes::fromBlock(ct).toHex(), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  EXPECT_EQ(aes::decryptBlock(ct, key), pt);
+}
+
+TEST(AesCore, KeyScheduleForwardBackward) {
+  const aes::Block key = aes::toBlock(
+      BitVector::fromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+  aes::Block rk = key;
+  for (int round = 1; round <= 10; ++round) rk = aes::nextRoundKey(rk, round);
+  // FIPS-197 Appendix A.1 final round key.
+  EXPECT_EQ(aes::fromBlock(rk).toHex(), "d014f9a8c9ee2589e13f0cc8b6630ca6");
+  for (int round = 10; round >= 1; --round) rk = aes::prevRoundKey(rk, round);
+  EXPECT_EQ(rk, key);
+}
+
+TEST(AesCore, MixColumnsInverts) {
+  aes::Block s{};
+  for (int i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(i * 17 + 3);
+  aes::Block t = s;
+  aes::mixColumns(t);
+  aes::invMixColumns(t);
+  EXPECT_EQ(t, s);
+  aes::shiftRows(t);
+  aes::invShiftRows(t);
+  EXPECT_EQ(t, s);
+  aes::subBytes(t);
+  aes::invSubBytes(t);
+  EXPECT_EQ(t, s);
+}
+
+rtl::PortValues aesOp(bool start, bool decrypt, const BitVector& key,
+                      const BitVector& data) {
+  return {BitVector(1, 0), BitVector(1, 1), BitVector(1, start),
+          BitVector(1, decrypt), key, data};
+}
+
+TEST(AesIP, DeviceEncryptsAndSignalsDone) {
+  AesIP dev;
+  dev.reset();
+  const BitVector key = BitVector::fromHex("000102030405060708090a0b0c0d0e0f");
+  const BitVector pt = BitVector::fromHex("00112233445566778899aabbccddeeff");
+  rtl::PortValues out;
+  dev.tick(aesOp(true, false, key, pt), out);
+  for (int i = 0; i < 9; ++i) {
+    dev.tick(aesOp(false, false, key, pt), out);
+    EXPECT_FALSE(out[AesIP::kDone].bit(0));
+  }
+  dev.tick(aesOp(false, false, key, pt), out);
+  EXPECT_TRUE(out[AesIP::kDone].bit(0));
+  EXPECT_EQ(out[AesIP::kResult].toHex(), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesIP, DeviceDecryptInvertsEncrypt) {
+  AesIP dev;
+  dev.reset();
+  const BitVector key = BitVector::fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  const BitVector pt = BitVector::fromHex("3243f6a8885a308d313198a2e0370734");
+  rtl::PortValues out;
+  dev.tick(aesOp(true, false, key, pt), out);
+  for (int i = 0; i < 10; ++i) dev.tick(aesOp(false, false, key, pt), out);
+  const BitVector ct = out[AesIP::kResult];
+  EXPECT_EQ(ct.toHex(), "3925841d02dc09fbdc118597196a0b32");  // FIPS-197 B
+  dev.tick(aesOp(true, true, key, ct), out);
+  for (int i = 0; i < 10; ++i) dev.tick(aesOp(false, true, key, ct), out);
+  EXPECT_TRUE(out[AesIP::kDone].bit(0));
+  EXPECT_EQ(out[AesIP::kResult], pt);
+}
+
+TEST(AesIP, TableICharacteristics) {
+  AesIP dev;
+  EXPECT_EQ(dev.inputBits(), 260u);
+  EXPECT_EQ(dev.outputBits(), 129u);
+}
+
+// ---------------------------------------------------------------------
+// Camellia (RFC 3713)
+// ---------------------------------------------------------------------
+
+TEST(CamelliaCore, Rfc3713TestVector) {
+  // K = P = 0123456789abcdeffedcba9876543210
+  const camellia::KeySchedule ks =
+      camellia::expandKey(0x0123456789abcdefull, 0xfedcba9876543210ull);
+  std::uint64_t pt[2] = {0x0123456789abcdefull, 0xfedcba9876543210ull};
+  std::uint64_t ct[2];
+  camellia::encryptBlock(pt, ct, ks);
+  EXPECT_EQ(ct[0], 0x6767313854966973ull);
+  EXPECT_EQ(ct[1], 0x0857065648eabe43ull);
+  std::uint64_t back[2];
+  camellia::decryptBlock(ct, back, ks);
+  EXPECT_EQ(back[0], pt[0]);
+  EXPECT_EQ(back[1], pt[1]);
+}
+
+TEST(CamelliaCore, FlInvertsFl) {
+  const std::uint64_t k = 0x0123456789abcdefull;
+  const std::uint64_t x = 0xfedcba9876543210ull;
+  EXPECT_EQ(camellia::FLinv(camellia::FL(x, k), k), x);
+}
+
+rtl::PortValues camOp(bool krdy, bool drdy, bool decrypt, const BitVector& key,
+                      const BitVector& data, bool flush = false) {
+  return {BitVector(1, 0),    BitVector(1, 1),      BitVector(1, krdy),
+          BitVector(1, drdy), BitVector(1, decrypt), BitVector(1, flush),
+          key,                data};
+}
+
+TEST(CamelliaIP, DeviceMatchesReferenceVector) {
+  CamelliaIP dev;
+  dev.reset();
+  const BitVector key = BitVector::fromHex("0123456789abcdeffedcba9876543210");
+  const BitVector pt = key;
+  rtl::PortValues out;
+  dev.tick(camOp(true, false, false, key, pt), out);   // load key
+  dev.tick(camOp(false, true, false, key, pt), out);   // start block
+  for (std::size_t i = 0; i < CamelliaIP::kLatency; ++i) {
+    dev.tick(camOp(false, false, false, key, pt), out);
+  }
+  EXPECT_TRUE(out[CamelliaIP::kDone].bit(0));
+  EXPECT_EQ(out[CamelliaIP::kDout].toHex(),
+            "67673138549669730857065648eabe43");
+}
+
+TEST(CamelliaIP, DeviceDecryptInvertsEncrypt) {
+  CamelliaIP dev;
+  dev.reset();
+  const BitVector key = BitVector::fromHex("aabbccddeeff00112233445566778899");
+  const BitVector pt = BitVector::fromHex("00112233445566778899aabbccddeeff");
+  rtl::PortValues out;
+  dev.tick(camOp(true, false, false, key, pt), out);
+  dev.tick(camOp(false, true, false, key, pt), out);
+  for (std::size_t i = 0; i < CamelliaIP::kLatency; ++i) {
+    dev.tick(camOp(false, false, false, key, pt), out);
+  }
+  const BitVector ct = out[CamelliaIP::kDout];
+  dev.tick(camOp(false, true, true, key, ct), out);
+  for (std::size_t i = 0; i < CamelliaIP::kLatency; ++i) {
+    dev.tick(camOp(false, false, true, key, ct), out);
+  }
+  EXPECT_TRUE(out[CamelliaIP::kDone].bit(0));
+  EXPECT_EQ(out[CamelliaIP::kDout], pt);
+}
+
+TEST(CamelliaIP, TableICharacteristics) {
+  CamelliaIP dev;
+  EXPECT_EQ(dev.inputBits(), 262u);
+  EXPECT_EQ(dev.outputBits(), 129u);
+}
+
+// ---------------------------------------------------------------------
+// Factory and testbenches
+// ---------------------------------------------------------------------
+
+TEST(IpFactory, BuildsAllDevicesAndPlans) {
+  for (const IpKind kind : kAllIps) {
+    auto dev = makeDevice(kind);
+    EXPECT_EQ(dev->name(), ipName(kind));
+    const auto short_plan = shortTSPlan(kind);
+    EXPECT_GT(short_plan.size(), 1u);
+    const auto long_plan = longTSPlan(kind, 100000);
+    std::size_t total = 0;
+    for (const auto& s : long_plan) total += s.cycles;
+    EXPECT_EQ(total, 100000u);
+  }
+  // Paper's short-TS totals.
+  auto total = [](const std::vector<TraceSpec>& plan) {
+    std::size_t n = 0;
+    for (const auto& s : plan) n += s.cycles;
+    return n;
+  };
+  EXPECT_EQ(total(shortTSPlan(IpKind::Ram)), 34130u);
+  EXPECT_EQ(total(shortTSPlan(IpKind::MultSum)), 12002u);
+  EXPECT_EQ(total(shortTSPlan(IpKind::Aes)), 16504u);
+  EXPECT_EQ(total(shortTSPlan(IpKind::Camellia)), 78004u);
+}
+
+TEST(Testbench, DeterministicAcrossRestart) {
+  for (const IpKind kind : kAllIps) {
+    auto tb = makeTestbench(kind, TestsetMode::Long, 123);
+    std::vector<rtl::PortValues> first;
+    for (int i = 0; i < 50; ++i) first.push_back(tb->next(i));
+    tb->restart();
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(tb->next(i), first[static_cast<std::size_t>(i)])
+          << ipName(kind) << " cycle " << i;
+    }
+  }
+}
+
+TEST(Testbench, DrivesDeviceWithoutError) {
+  for (const IpKind kind : kAllIps) {
+    for (const TestsetMode mode : {TestsetMode::Short, TestsetMode::Long}) {
+      auto dev = makeDevice(kind);
+      auto tb = makeTestbench(kind, mode, 7);
+      rtl::Simulator sim(*dev);
+      const trace::FunctionalTrace t = sim.run(*tb, 500);
+      EXPECT_EQ(t.length(), 500u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psmgen::ip

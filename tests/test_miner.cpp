@@ -1,0 +1,201 @@
+// Unit tests for the assertion miner: atom candidates, filters,
+// proposition domain interning and proposition traces.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/miner.hpp"
+
+namespace psmgen::core {
+namespace {
+
+using common::BitVector;
+
+trace::VariableSet vars3() {
+  trace::VariableSet vars;
+  vars.add("en", 1, trace::VarKind::Input);
+  vars.add("mode", 4, trace::VarKind::Input);
+  vars.add("data", 16, trace::VarKind::Input);
+  return vars;
+}
+
+void row(trace::FunctionalTrace& t, bool en, unsigned mode, unsigned data) {
+  t.append({BitVector(1, en), BitVector(4, mode), BitVector(16, data)});
+}
+
+TEST(Miner, BooleanAndFrequentConstantAtoms) {
+  trace::FunctionalTrace t(vars3());
+  common::Rng rng(1);
+  // mode is control-like (two values), data is random noise.
+  for (int i = 0; i < 100; ++i) row(t, false, 1, 0);
+  for (int i = 0; i < 100; ++i) {
+    row(t, true, 2, static_cast<unsigned>(rng.next() & 0xFFFF));
+  }
+  AssertionMiner miner;
+  const auto atoms = miner.mineAtoms({&t});
+  std::vector<std::string> names;
+  for (const auto& a : atoms) names.push_back(a.toString(t.variables()));
+  EXPECT_NE(std::find(names.begin(), names.end(), "en=1"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "mode=0x1"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "mode=0x2"), names.end());
+  // No constants over the data bus (data-like), but the zero atom exists.
+  for (const auto& n : names) {
+    if (n.rfind("data=", 0) == 0) {
+      EXPECT_EQ(n, "data=0x0000");
+    }
+  }
+}
+
+TEST(Miner, ConstantAtomsAreDropped) {
+  trace::FunctionalTrace t(vars3());
+  for (int i = 0; i < 50; ++i) row(t, true, 3, 7);  // everything constant
+  AssertionMiner miner;
+  // Every candidate holds always => no informative atom survives.
+  EXPECT_TRUE(miner.mineAtoms({&t}).empty());
+}
+
+TEST(Miner, ToggleNoiseFiltered) {
+  trace::FunctionalTrace t(vars3());
+  for (int i = 0; i < 200; ++i) row(t, i % 2 == 0, 1, 0);  // en toggles always
+  MinerConfig cfg;
+  cfg.max_toggle_rate = 0.25;
+  AssertionMiner miner(cfg);
+  const auto atoms = miner.mineAtoms({&t});
+  for (const auto& a : atoms) {
+    EXPECT_NE(a.toString(t.variables()), "en=1");
+  }
+}
+
+TEST(Miner, SpikyWideAtomsFiltered) {
+  trace::FunctionalTrace t(vars3());
+  // data crosses zero for exactly one instant within long nonzero runs —
+  // an incidental coincidence, not a mode.
+  for (int rep = 0; rep < 10; ++rep) {
+    for (int i = 0; i < 20; ++i) row(t, true, 1, 100 + i);
+    row(t, true, 1, 0);
+    for (int i = 0; i < 20; ++i) row(t, true, 1, 200 + i);
+  }
+  AssertionMiner miner;
+  for (const auto& a : miner.mineAtoms({&t})) {
+    EXPECT_NE(a.toString(t.variables()), "data=0x0000");
+  }
+}
+
+TEST(Miner, VarVarOnlyForControlLikePairs) {
+  trace::VariableSet vars;
+  vars.add("a", 4, trace::VarKind::Input);
+  vars.add("b", 4, trace::VarKind::Input);
+  vars.add("x", 16, trace::VarKind::Input);
+  vars.add("y", 16, trace::VarKind::Output);
+  trace::FunctionalTrace t(vars);
+  common::Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    const unsigned a = i < 150 ? 3 : 1;
+    const unsigned b = 2;
+    t.append({BitVector(4, a), BitVector(4, b),
+              BitVector(16, rng.next() & 0xFFFF),
+              BitVector(16, rng.next() & 0xFFFF)});
+  }
+  AssertionMiner miner;
+  const auto atoms = miner.mineAtoms({&t});
+  bool saw_ab = false;
+  for (const auto& a : atoms) {
+    const std::string n = a.toString(vars);
+    if (n == "a>b") saw_ab = true;
+    EXPECT_NE(n, "x=y");
+    EXPECT_NE(n, "x>y");
+  }
+  EXPECT_TRUE(saw_ab);
+}
+
+TEST(Miner, RejectsBadInputs) {
+  AssertionMiner miner;
+  EXPECT_THROW(miner.mineAtoms({}), std::invalid_argument);
+  trace::FunctionalTrace empty(vars3());
+  EXPECT_THROW(miner.mineAtoms({&empty}), std::invalid_argument);
+  trace::FunctionalTrace a(vars3());
+  row(a, true, 1, 2);
+  trace::FunctionalTrace b{trace::VariableSet{}};
+  EXPECT_THROW(miner.mineAtoms({&a, &b}), std::invalid_argument);
+}
+
+TEST(Domain, InterningIsStable) {
+  trace::FunctionalTrace t(vars3());
+  for (int i = 0; i < 20; ++i) row(t, i % 8 < 4, 1, 0);
+  MinerConfig cfg;
+  cfg.max_toggle_rate = 1.0;
+  AssertionMiner miner(cfg);
+  PropositionDomain domain = miner.buildDomain({&t});
+  const PropId p0 = domain.internRow(t.step(0));
+  const PropId p0_again = domain.internRow(t.step(0));
+  EXPECT_EQ(p0, p0_again);
+  const PropId p2 = domain.internRow(t.step(4));  // en differs
+  EXPECT_NE(p0, p2);
+  EXPECT_EQ(domain.findRow(t.step(0)), p0);
+}
+
+TEST(Domain, FindDoesNotIntern) {
+  trace::FunctionalTrace t(vars3());
+  row(t, true, 1, 0);
+  row(t, false, 2, 0);
+  MinerConfig cfg;
+  cfg.max_toggle_rate = 1.0;
+  cfg.max_singleton_run_fraction = 1.0;
+  AssertionMiner miner(cfg);
+  PropositionDomain domain = miner.buildDomain({&t});
+  EXPECT_EQ(domain.findRow(t.step(0)), kNoProp);
+  EXPECT_EQ(domain.size(), 0u);
+  domain.internRow(t.step(0));
+  EXPECT_EQ(domain.size(), 1u);
+  EXPECT_EQ(domain.findRow(t.step(1)), kNoProp);
+}
+
+TEST(Domain, ExactlyOnePropositionPerInstant) {
+  // The AND-composition guarantees a partition: two instants map to the
+  // same proposition iff all atoms agree.
+  trace::FunctionalTrace t(vars3());
+  common::Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    row(t, rng.chance(0.5), rng.chance(0.5) ? 1 : 2,
+        static_cast<unsigned>(rng.next() & 0xFFFF));
+  }
+  MinerConfig cfg;
+  cfg.max_toggle_rate = 1.0;
+  cfg.max_singleton_run_fraction = 1.0;
+  AssertionMiner miner(cfg);
+  PropositionDomain domain = miner.buildDomain({&t});
+  const PropositionTrace gamma = AssertionMiner::tracePropositions(domain, t);
+  ASSERT_EQ(gamma.length(), t.length());
+  for (std::size_t i = 0; i < t.length(); ++i) {
+    for (std::size_t j = i + 1; j < t.length(); ++j) {
+      bool atoms_agree = true;
+      for (const auto& a : domain.atoms()) {
+        if (a.eval(t.step(i)) != a.eval(t.step(j))) {
+          atoms_agree = false;
+          break;
+        }
+      }
+      EXPECT_EQ(gamma.at(i) == gamma.at(j), atoms_agree)
+          << "instants " << i << "," << j;
+    }
+  }
+}
+
+TEST(Domain, DescribeListsTrueAtoms) {
+  trace::FunctionalTrace t(vars3());
+  row(t, true, 1, 0);
+  row(t, false, 2, 5);
+  MinerConfig cfg;
+  cfg.max_toggle_rate = 1.0;
+  cfg.max_singleton_run_fraction = 1.0;
+  AssertionMiner miner(cfg);
+  PropositionDomain domain = miner.buildDomain({&t});
+  const PropId p = domain.internRow(t.step(0));
+  const std::string desc = domain.describe(p);
+  EXPECT_NE(desc.find("en=1"), std::string::npos);
+  EXPECT_EQ(domain.describe(kNoProp), "<unknown>");
+  EXPECT_EQ(domain.shortName(p), "p0");
+}
+
+}  // namespace
+}  // namespace psmgen::core

@@ -1,0 +1,191 @@
+// Unit tests for the PSM simulator: training-trace replay, until/next
+// semantics, sequence assertions, regression outputs, resynchronization
+// on unknown behaviour and the WSP / unexpected-behaviour accounting.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/flow.hpp"
+#include "core/generator.hpp"
+#include "core/miner.hpp"
+#include "core/psm_simulator.hpp"
+
+namespace psmgen::core {
+namespace {
+
+using common::BitVector;
+
+trace::VariableSet modeVars() {
+  trace::VariableSet vars;
+  vars.add("m", 2, trace::VarKind::Input);
+  return vars;
+}
+
+/// Builds a trace of 2-bit "mode" values with the given run lengths.
+trace::FunctionalTrace modeTrace(
+    const std::vector<std::pair<unsigned, std::size_t>>& runs) {
+  trace::FunctionalTrace t(modeVars());
+  for (const auto& [mode, len] : runs) {
+    for (std::size_t i = 0; i < len; ++i) t.append({BitVector(2, mode)});
+  }
+  return t;
+}
+
+trace::PowerTrace powerFor(const trace::FunctionalTrace& t,
+                           const std::vector<double>& per_mode) {
+  trace::PowerTrace p;
+  for (std::size_t i = 0; i < t.length(); ++i) {
+    p.append(per_mode.at(t.value(i, 0).toUint64()));
+  }
+  return p;
+}
+
+struct Built {
+  std::unique_ptr<CharacterizationFlow> flow;
+};
+
+Built buildFlow(const std::vector<trace::FunctionalTrace>& traces,
+                const std::vector<double>& per_mode,
+                SimOptions sim = {}) {
+  Built b;
+  FlowConfig cfg;
+  cfg.miner.max_toggle_rate = 1.0;
+  cfg.miner.max_singleton_run_fraction = 1.0;
+  cfg.sim = sim;
+  b.flow = std::make_unique<CharacterizationFlow>(cfg);
+  for (const auto& t : traces) {
+    b.flow->addTrainingTrace(t, powerFor(t, per_mode));
+  }
+  b.flow->build();
+  return b;
+}
+
+TEST(Simulator, ReplaysTrainingTraceExactly) {
+  const auto t = modeTrace({{0, 10}, {1, 5}, {2, 8}, {0, 10}});
+  Built b = buildFlow({t}, {1.0, 2.0, 3.0, 4.0});
+  const SimResult r = b.flow->estimate(t);
+  ASSERT_EQ(r.estimate.size(), t.length());
+  EXPECT_EQ(r.wrong_predictions, 0u);
+  EXPECT_EQ(r.unexpected_behaviours, 0u);
+  EXPECT_EQ(r.lost_instants, 0u);
+  for (std::size_t i = 0; i < t.length(); ++i) {
+    const double want = powerFor(t, {1.0, 2.0, 3.0, 4.0}).at(i);
+    EXPECT_NEAR(r.estimate[i], want, 1e-9) << "instant " << i;
+  }
+}
+
+TEST(Simulator, UntilGeneralizesToDifferentRunLengths) {
+  // Train with one run structure, evaluate on different lengths: until
+  // patterns are duration-insensitive.
+  const auto train = modeTrace({{0, 10}, {1, 6}, {0, 10}, {1, 6}, {0, 4}});
+  Built b = buildFlow({train}, {1.0, 2.0});
+  const auto eval = modeTrace({{0, 3}, {1, 17}, {0, 25}, {1, 2}, {0, 5}});
+  const SimResult r = b.flow->estimate(eval);
+  EXPECT_EQ(r.lost_instants, 0u);
+  for (std::size_t i = 0; i < eval.length(); ++i) {
+    EXPECT_NEAR(r.estimate[i], powerFor(eval, {1.0, 2.0}).at(i), 1e-9);
+  }
+}
+
+TEST(Simulator, UnknownPropositionCausesLostInstants) {
+  const auto train = modeTrace({{0, 10}, {1, 6}, {0, 10}});
+  Built b = buildFlow({train}, {1.0, 2.0, 9.0});
+  // Mode 2 never appears in training: its proposition is unknown.
+  const auto eval = modeTrace({{0, 5}, {2, 4}, {0, 5}});
+  const SimResult r = b.flow->estimate(eval);
+  EXPECT_GE(r.lost_instants, 4u);
+  // After the unknown stretch the simulator resynchronizes on mode 0.
+  EXPECT_NEAR(r.estimate.back(), 1.0, 1e-9);
+}
+
+TEST(Simulator, UnseenSuccessionIsUnexpectedNotWrong) {
+  // Training only ever sees 0 -> 1 -> 0; evaluation jumps 0 -> 2 where 2
+  // exists in training but never after 0.
+  const auto train = modeTrace({{0, 8}, {1, 5}, {0, 8}, {1, 5}, {2, 6},
+                                {1, 5}, {0, 8}});
+  Built b = buildFlow({train}, {1.0, 2.0, 3.0});
+  const auto eval = modeTrace({{0, 8}, {2, 6}, {1, 5}});
+  const SimResult r = b.flow->estimate(eval);
+  EXPECT_GE(r.unexpected_behaviours, 1u);
+  // Recognition recovers: the mode-2 stretch is eventually estimated at 3.
+  EXPECT_NEAR(r.estimate[10], 3.0, 1e-9);
+}
+
+TEST(Simulator, RegressionOutputTracksHamming) {
+  // Busy power = 2 + HD(inputs); the flow's refinement must recover it.
+  trace::FunctionalTrace t(modeVars());
+  trace::PowerTrace p;
+  common::Rng rng(3);
+  unsigned prev = 0;
+  for (int burst = 0; burst < 30; ++burst) {
+    for (int i = 0; i < 6; ++i) {
+      t.append({BitVector(2, 0)});
+      p.append(prev == 0 ? 1.0 : 1.0);
+      prev = 0;
+    }
+    for (int i = 0; i < 6; ++i) {
+      const unsigned m = 1 + static_cast<unsigned>(rng.uniform(3));
+      const unsigned hd =
+          BitVector::hammingDistance(BitVector(2, m), BitVector(2, prev));
+      t.append({BitVector(2, m)});
+      p.append(5.0 + static_cast<double>(hd));
+      prev = m;
+    }
+  }
+  FlowConfig cfg;
+  cfg.miner.max_toggle_rate = 1.0;
+  cfg.miner.max_singleton_run_fraction = 1.0;
+  cfg.miner.mine_zero = true;
+  CharacterizationFlow flow(cfg);
+  flow.addTrainingTrace(t, p);
+  const BuildReport rep = flow.build();
+  EXPECT_GE(rep.refined_states, 1u);
+  EXPECT_LT(flow.evaluateMre(t, p), 0.12);
+}
+
+TEST(Simulator, StrictExitSemanticsFlagsMoreViolations) {
+  // Train a next-pattern exit (one-cycle mode 0 between modes), evaluate
+  // with a longer mode-0 run: the generalized-exit rule absorbs it, the
+  // strict rule reports a violation.
+  const auto train = modeTrace({{1, 6}, {0, 1}, {2, 6}, {1, 6}, {0, 3},
+                                {1, 6}});
+  const auto eval = modeTrace({{1, 6}, {0, 4}, {2, 6}});
+  SimOptions strict;
+  strict.generalize_exits = false;
+  Built b_strict = buildFlow({train}, {5.0, 1.0, 5.2}, strict);
+  Built b_general = buildFlow({train}, {5.0, 1.0, 5.2});
+  const SimResult r_strict = b_strict.flow->estimate(eval);
+  const SimResult r_general = b_general.flow->estimate(eval);
+  EXPECT_LE(r_general.wrong_predictions + r_general.unexpected_behaviours,
+            r_strict.wrong_predictions + r_strict.unexpected_behaviours);
+}
+
+TEST(Simulator, StreamingSessionMatchesBatch) {
+  const auto train = modeTrace({{0, 10}, {1, 5}, {0, 10}, {1, 5}});
+  Built b = buildFlow({train}, {1.0, 2.0});
+  const auto eval = modeTrace({{0, 7}, {1, 9}, {0, 3}});
+  const SimResult batch = b.flow->estimate(eval);
+  auto session = b.flow->simulator().startSession();
+  for (std::size_t i = 0; i < eval.length(); ++i) {
+    EXPECT_DOUBLE_EQ(session.step(eval.step(i)), batch.estimate[i]);
+  }
+  EXPECT_EQ(session.wrongPredictions(), batch.wrong_predictions);
+  EXPECT_EQ(session.lostInstants(), batch.lost_instants);
+}
+
+TEST(Simulator, EmptyPsmIsRejected) {
+  Psm psm;
+  PropositionDomain domain{trace::VariableSet{}, {}};
+  EXPECT_THROW(PsmSimulator(psm, domain), std::invalid_argument);
+}
+
+TEST(Simulator, WspPercentArithmetic) {
+  SimResult r;
+  EXPECT_DOUBLE_EQ(r.wspPercent(), 0.0);
+  r.predictions = 4;
+  r.wrong_predictions = 1;
+  EXPECT_DOUBLE_EQ(r.wspPercent(), 25.0);
+}
+
+}  // namespace
+}  // namespace psmgen::core

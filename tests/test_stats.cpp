@@ -1,0 +1,178 @@
+// Unit tests for the statistics substrate: Welford accumulation and
+// merging, incomplete beta / Student-t, Welch and one-sample t-tests,
+// Pearson correlation and OLS regression.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/regression.hpp"
+#include "stats/special.hpp"
+#include "stats/ttest.hpp"
+
+namespace psmgen::stats {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats rs;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  common::Rng rng(3);
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(10.0, 2.5);
+    whole.add(x);
+    (i < 400 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Special, IncompleteBetaBoundaries) {
+  EXPECT_DOUBLE_EQ(incompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incompleteBeta(2.0, 3.0, 1.0), 1.0);
+  EXPECT_THROW(incompleteBeta(0.0, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(incompleteBeta(1.0, 1.0, 1.5), std::invalid_argument);
+}
+
+TEST(Special, IncompleteBetaKnownValues) {
+  // I_x(1,1) = x (uniform CDF).
+  EXPECT_NEAR(incompleteBeta(1.0, 1.0, 0.3), 0.3, 1e-12);
+  // I_x(2,2) = 3x^2 - 2x^3.
+  const double x = 0.4;
+  EXPECT_NEAR(incompleteBeta(2.0, 2.0, x), 3 * x * x - 2 * x * x * x, 1e-12);
+  // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(incompleteBeta(2.5, 4.0, 0.3),
+              1.0 - incompleteBeta(4.0, 2.5, 0.7), 1e-12);
+}
+
+TEST(Special, StudentTCdf) {
+  // t = 0 is the median for any dof.
+  EXPECT_NEAR(studentTCdf(0.0, 5.0), 0.5, 1e-12);
+  // dof = 1 is the Cauchy distribution: CDF(1) = 3/4.
+  EXPECT_NEAR(studentTCdf(1.0, 1.0), 0.75, 1e-10);
+  // Large dof approaches the normal: CDF(1.96) ~ 0.975.
+  EXPECT_NEAR(studentTCdf(1.96, 100000.0), 0.975, 1e-3);
+  EXPECT_NEAR(studentTCdf(-1.0, 1.0), 0.25, 1e-10);
+}
+
+TEST(Special, TwoSidedPValue) {
+  EXPECT_NEAR(twoSidedTPValue(0.0, 10.0), 1.0, 1e-12);
+  // Cauchy: P(|T| >= 1) = 0.5.
+  EXPECT_NEAR(twoSidedTPValue(1.0, 1.0), 0.5, 1e-10);
+  EXPECT_NEAR(twoSidedTPValue(-1.0, 1.0), 0.5, 1e-10);
+}
+
+TEST(TTest, WelchIdenticalSamples) {
+  const Summary s{5.0, 1.0, 100};
+  const TTestResult r = welchTTest(s, s);
+  EXPECT_NEAR(r.t, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-12);
+}
+
+TEST(TTest, WelchClearlyDifferent) {
+  const TTestResult r = welchTTest({5.0, 0.1, 1000}, {6.0, 0.1, 1000});
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(TTest, WelchKnownValue) {
+  // Classic Welch example: a = (mean 20.6, s 1.62, n 6),
+  // b = (mean 22.1, s 2.3, n 11): t ~ -1.57, dof ~ 13.
+  const TTestResult r = welchTTest({20.6, 1.62, 6}, {22.1, 2.3, 11});
+  EXPECT_NEAR(r.t, -1.57, 0.02);
+  EXPECT_NEAR(r.dof, 13.0, 1.0);
+  EXPECT_GT(r.p_value, 0.1);
+}
+
+TEST(TTest, WelchZeroVarianceCases) {
+  EXPECT_NEAR(welchTTest({1.0, 0.0, 10}, {1.0, 0.0, 10}).p_value, 1.0, 1e-12);
+  EXPECT_NEAR(welchTTest({1.0, 0.0, 10}, {2.0, 0.0, 10}).p_value, 0.0, 1e-12);
+}
+
+TEST(TTest, WelchRejectsTinySamples) {
+  EXPECT_THROW(welchTTest({1.0, 0.1, 1}, {1.0, 0.1, 10}),
+               std::invalid_argument);
+}
+
+TEST(TTest, OneSample) {
+  const Summary pop{10.0, 1.0, 50};
+  EXPECT_GT(oneSampleTTest(pop, 10.5).p_value, 0.5);
+  EXPECT_LT(oneSampleTTest(pop, 20.0).p_value, 1e-8);
+  EXPECT_NEAR(oneSampleTTest({10.0, 0.0, 50}, 10.0).p_value, 1.0, 1e-12);
+  EXPECT_NEAR(oneSampleTTest({10.0, 0.0, 50}, 11.0).p_value, 0.0, 1e-12);
+}
+
+TEST(Regression, PerfectLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit fit = linearRegression(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-10);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-10);
+  EXPECT_NEAR(fit.pearson_r, 1.0, 1e-10);
+  EXPECT_NEAR(fit.predict(100.0), 203.0, 1e-8);
+}
+
+TEST(Regression, NoisyLineRecoversSlope) {
+  common::Rng rng(21);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 5000; ++i) {
+    const double xv = rng.uniformReal() * 10.0;
+    x.push_back(xv);
+    y.push_back(1.0 + 0.5 * xv + rng.gaussian(0.0, 0.1));
+  }
+  const LinearFit fit = linearRegression(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.02);
+  EXPECT_GT(fit.pearson_r, 0.99);
+}
+
+TEST(Regression, ConstantXGivesFlatLine) {
+  const LinearFit fit = linearRegression({2, 2, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+  EXPECT_DOUBLE_EQ(fit.pearson_r, 0.0);
+}
+
+TEST(Regression, Pearson) {
+  EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_THROW(pearson({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Regression, ErrorsOnBadInput) {
+  EXPECT_THROW(linearRegression({1}, {1}), std::invalid_argument);
+  EXPECT_THROW(linearRegression({1, 2}, {1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace psmgen::stats

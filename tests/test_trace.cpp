@@ -1,0 +1,140 @@
+// Unit tests for the trace substrate: variable sets, functional and power
+// traces, MRE, CSV round-trips and the VCD writer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/functional_trace.hpp"
+#include "trace/power_trace.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/vcd_writer.hpp"
+
+namespace psmgen::trace {
+namespace {
+
+using common::BitVector;
+
+VariableSet demoVars() {
+  VariableSet vars;
+  vars.add("en", 1, VarKind::Input);
+  vars.add("data", 8, VarKind::Input);
+  vars.add("out", 8, VarKind::Output);
+  return vars;
+}
+
+FunctionalTrace demoTrace() {
+  FunctionalTrace t(demoVars());
+  t.append({BitVector(1, 0), BitVector(8, 0x00), BitVector(8, 0x00)});
+  t.append({BitVector(1, 1), BitVector(8, 0xFF), BitVector(8, 0x0F)});
+  t.append({BitVector(1, 1), BitVector(8, 0xF0), BitVector(8, 0x0F)});
+  return t;
+}
+
+TEST(VariableSet, AddFindAndKinds) {
+  VariableSet vars = demoVars();
+  EXPECT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars.find("data"), 1);
+  EXPECT_EQ(vars.find("nope"), -1);
+  EXPECT_EQ(vars.inputs(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(vars.outputs(), (std::vector<int>{2}));
+  EXPECT_EQ(vars.inputBits(), 9u);
+  EXPECT_EQ(vars.outputBits(), 8u);
+  EXPECT_THROW(vars.add("en", 1, VarKind::Input), std::invalid_argument);
+}
+
+TEST(FunctionalTrace, AppendValidation) {
+  FunctionalTrace t(demoVars());
+  EXPECT_THROW(t.append({BitVector(1, 0)}), std::invalid_argument);
+  EXPECT_THROW(t.append({BitVector(2, 0), BitVector(8, 0), BitVector(8, 0)}),
+               std::invalid_argument);
+  t.append({BitVector(1, 0), BitVector(8, 0), BitVector(8, 0)});
+  EXPECT_EQ(t.length(), 1u);
+}
+
+TEST(FunctionalTrace, HammingDistances) {
+  FunctionalTrace t = demoTrace();
+  EXPECT_EQ(t.inputHammingDistance(0), 0u);
+  // step0 -> step1: en toggles (1) + data 0x00->0xFF (8) = 9.
+  EXPECT_EQ(t.inputHammingDistance(1), 9u);
+  // plus out 0x00->0x0F (4) = 13 for the whole interface.
+  EXPECT_EQ(t.rowHammingDistance(1), 13u);
+  // step1 -> step2: data 0xFF->0xF0 (4); out unchanged.
+  EXPECT_EQ(t.inputHammingDistance(2), 4u);
+  EXPECT_EQ(t.rowHammingDistance(2), 4u);
+}
+
+TEST(FunctionalTrace, SubtraceAndExtend) {
+  FunctionalTrace t = demoTrace();
+  FunctionalTrace sub = t.subtrace(1, 2);
+  EXPECT_EQ(sub.length(), 2u);
+  EXPECT_EQ(sub.value(0, 1), BitVector(8, 0xFF));
+  EXPECT_THROW(t.subtrace(2, 5), std::out_of_range);
+  FunctionalTrace copy = t;
+  copy.extend(sub);
+  EXPECT_EQ(copy.length(), 5u);
+  FunctionalTrace other{VariableSet{}};
+  EXPECT_THROW(copy.extend(other), std::invalid_argument);
+}
+
+TEST(PowerTrace, MeanAndEnergy) {
+  PowerTrace p({1.0, 100.0e6, 1e-14});
+  for (const double w : {1.0, 2.0, 3.0, 4.0}) p.append(w);
+  EXPECT_DOUBLE_EQ(p.mean(0, 3), 2.5);
+  EXPECT_DOUBLE_EQ(p.mean(1, 2), 2.5);
+  EXPECT_THROW(p.mean(2, 1), std::out_of_range);
+  EXPECT_THROW(p.mean(0, 9), std::out_of_range);
+  EXPECT_NEAR(p.totalEnergy(), 10.0 / 100.0e6, 1e-18);
+}
+
+TEST(PowerTrace, MeanRelativeError) {
+  EXPECT_DOUBLE_EQ(meanRelativeError({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_NEAR(meanRelativeError({1.1, 2.2}, {1.0, 2.0}), 0.1, 1e-12);
+  // Zero-reference instants are skipped.
+  EXPECT_NEAR(meanRelativeError({5.0, 1.1}, {0.0, 1.0}), 0.1, 1e-12);
+  EXPECT_THROW(meanRelativeError({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(TraceIo, FunctionalRoundTrip) {
+  FunctionalTrace t = demoTrace();
+  std::stringstream ss;
+  writeFunctionalTrace(ss, t);
+  const FunctionalTrace back = readFunctionalTrace(ss);
+  EXPECT_EQ(back, t);
+}
+
+TEST(TraceIo, PowerRoundTrip) {
+  PowerTrace p({1.2, 50.0e6, 2e-14});
+  p.append(0.001);
+  p.append(0.0025);
+  std::stringstream ss;
+  writePowerTrace(ss, p);
+  const PowerTrace back = readPowerTrace(ss);
+  EXPECT_EQ(back.params(), p.params());
+  ASSERT_EQ(back.length(), 2u);
+  EXPECT_DOUBLE_EQ(back.at(1), 0.0025);
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream ss("not a trace\n");
+  EXPECT_THROW(readFunctionalTrace(ss), std::runtime_error);
+  std::stringstream ss2("also not\n");
+  EXPECT_THROW(readPowerTrace(ss2), std::runtime_error);
+}
+
+TEST(Vcd, EmitsDeclarationsAndChanges) {
+  FunctionalTrace t = demoTrace();
+  std::stringstream ss;
+  writeVcd(ss, t, "top");
+  const std::string vcd = ss.str();
+  EXPECT_NE(vcd.find("$scope module top"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 8"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("#2"), std::string::npos);
+  // Value-change encoding for the 8-bit bus.
+  EXPECT_NE(vcd.find("b11111111"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psmgen::trace
