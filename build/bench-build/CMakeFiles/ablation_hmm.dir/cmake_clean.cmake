@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hmm"
+  "../bench/ablation_hmm.pdb"
+  "CMakeFiles/ablation_hmm.dir/ablation_hmm.cpp.o"
+  "CMakeFiles/ablation_hmm.dir/ablation_hmm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_regression"
+  "../bench/ablation_regression.pdb"
+  "CMakeFiles/ablation_regression.dir/ablation_regression.cpp.o"
+  "CMakeFiles/ablation_regression.dir/ablation_regression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

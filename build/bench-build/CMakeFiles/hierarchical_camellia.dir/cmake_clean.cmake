@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hierarchical_camellia"
+  "../bench/hierarchical_camellia.pdb"
+  "CMakeFiles/hierarchical_camellia.dir/hierarchical_camellia.cpp.o"
+  "CMakeFiles/hierarchical_camellia.dir/hierarchical_camellia.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_camellia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

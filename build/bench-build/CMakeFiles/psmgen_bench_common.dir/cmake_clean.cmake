@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmgen_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/psmgen_bench_common.dir/bench_common.cpp.o.d"
+  "libpsmgen_bench_common.a"
+  "libpsmgen_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmgen_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

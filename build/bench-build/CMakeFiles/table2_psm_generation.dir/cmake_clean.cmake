@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_psm_generation"
+  "../bench/table2_psm_generation.pdb"
+  "CMakeFiles/table2_psm_generation.dir/table2_psm_generation.cpp.o"
+  "CMakeFiles/table2_psm_generation.dir/table2_psm_generation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_psm_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

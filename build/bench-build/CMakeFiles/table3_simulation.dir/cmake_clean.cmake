@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_simulation"
+  "../bench/table3_simulation.pdb"
+  "CMakeFiles/table3_simulation.dir/table3_simulation.cpp.o"
+  "CMakeFiles/table3_simulation.dir/table3_simulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

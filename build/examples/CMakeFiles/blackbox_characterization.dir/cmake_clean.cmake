@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackbox_characterization.dir/blackbox_characterization.cpp.o"
+  "CMakeFiles/blackbox_characterization.dir/blackbox_characterization.cpp.o.d"
+  "blackbox_characterization"
+  "blackbox_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackbox_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

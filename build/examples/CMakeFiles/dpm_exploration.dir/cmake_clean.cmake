@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpm_exploration.dir/dpm_exploration.cpp.o"
+  "CMakeFiles/dpm_exploration.dir/dpm_exploration.cpp.o.d"
+  "dpm_exploration"
+  "dpm_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpm_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

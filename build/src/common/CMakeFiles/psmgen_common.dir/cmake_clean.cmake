@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmgen_common.dir/bitvector.cpp.o"
+  "CMakeFiles/psmgen_common.dir/bitvector.cpp.o.d"
+  "CMakeFiles/psmgen_common.dir/rng.cpp.o"
+  "CMakeFiles/psmgen_common.dir/rng.cpp.o.d"
+  "CMakeFiles/psmgen_common.dir/strings.cpp.o"
+  "CMakeFiles/psmgen_common.dir/strings.cpp.o.d"
+  "libpsmgen_common.a"
+  "libpsmgen_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmgen_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

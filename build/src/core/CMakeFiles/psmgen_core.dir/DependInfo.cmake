@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codegen.cpp" "src/core/CMakeFiles/psmgen_core.dir/codegen.cpp.o" "gcc" "src/core/CMakeFiles/psmgen_core.dir/codegen.cpp.o.d"
+  "/root/repo/src/core/dot_export.cpp" "src/core/CMakeFiles/psmgen_core.dir/dot_export.cpp.o" "gcc" "src/core/CMakeFiles/psmgen_core.dir/dot_export.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/psmgen_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/psmgen_core.dir/flow.cpp.o.d"
+  "/root/repo/src/core/generator.cpp" "src/core/CMakeFiles/psmgen_core.dir/generator.cpp.o" "gcc" "src/core/CMakeFiles/psmgen_core.dir/generator.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/core/CMakeFiles/psmgen_core.dir/hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/psmgen_core.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/core/hmm.cpp" "src/core/CMakeFiles/psmgen_core.dir/hmm.cpp.o" "gcc" "src/core/CMakeFiles/psmgen_core.dir/hmm.cpp.o.d"
+  "/root/repo/src/core/merge.cpp" "src/core/CMakeFiles/psmgen_core.dir/merge.cpp.o" "gcc" "src/core/CMakeFiles/psmgen_core.dir/merge.cpp.o.d"
+  "/root/repo/src/core/miner.cpp" "src/core/CMakeFiles/psmgen_core.dir/miner.cpp.o" "gcc" "src/core/CMakeFiles/psmgen_core.dir/miner.cpp.o.d"
+  "/root/repo/src/core/proposition.cpp" "src/core/CMakeFiles/psmgen_core.dir/proposition.cpp.o" "gcc" "src/core/CMakeFiles/psmgen_core.dir/proposition.cpp.o.d"
+  "/root/repo/src/core/psm.cpp" "src/core/CMakeFiles/psmgen_core.dir/psm.cpp.o" "gcc" "src/core/CMakeFiles/psmgen_core.dir/psm.cpp.o.d"
+  "/root/repo/src/core/psm_simulator.cpp" "src/core/CMakeFiles/psmgen_core.dir/psm_simulator.cpp.o" "gcc" "src/core/CMakeFiles/psmgen_core.dir/psm_simulator.cpp.o.d"
+  "/root/repo/src/core/refine.cpp" "src/core/CMakeFiles/psmgen_core.dir/refine.cpp.o" "gcc" "src/core/CMakeFiles/psmgen_core.dir/refine.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/psmgen_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/psmgen_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/xu_automaton.cpp" "src/core/CMakeFiles/psmgen_core.dir/xu_automaton.cpp.o" "gcc" "src/core/CMakeFiles/psmgen_core.dir/xu_automaton.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psmgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/psmgen_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/psmgen_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmgen_core.dir/codegen.cpp.o"
+  "CMakeFiles/psmgen_core.dir/codegen.cpp.o.d"
+  "CMakeFiles/psmgen_core.dir/dot_export.cpp.o"
+  "CMakeFiles/psmgen_core.dir/dot_export.cpp.o.d"
+  "CMakeFiles/psmgen_core.dir/flow.cpp.o"
+  "CMakeFiles/psmgen_core.dir/flow.cpp.o.d"
+  "CMakeFiles/psmgen_core.dir/generator.cpp.o"
+  "CMakeFiles/psmgen_core.dir/generator.cpp.o.d"
+  "CMakeFiles/psmgen_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/psmgen_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/psmgen_core.dir/hmm.cpp.o"
+  "CMakeFiles/psmgen_core.dir/hmm.cpp.o.d"
+  "CMakeFiles/psmgen_core.dir/merge.cpp.o"
+  "CMakeFiles/psmgen_core.dir/merge.cpp.o.d"
+  "CMakeFiles/psmgen_core.dir/miner.cpp.o"
+  "CMakeFiles/psmgen_core.dir/miner.cpp.o.d"
+  "CMakeFiles/psmgen_core.dir/proposition.cpp.o"
+  "CMakeFiles/psmgen_core.dir/proposition.cpp.o.d"
+  "CMakeFiles/psmgen_core.dir/psm.cpp.o"
+  "CMakeFiles/psmgen_core.dir/psm.cpp.o.d"
+  "CMakeFiles/psmgen_core.dir/psm_simulator.cpp.o"
+  "CMakeFiles/psmgen_core.dir/psm_simulator.cpp.o.d"
+  "CMakeFiles/psmgen_core.dir/refine.cpp.o"
+  "CMakeFiles/psmgen_core.dir/refine.cpp.o.d"
+  "CMakeFiles/psmgen_core.dir/report.cpp.o"
+  "CMakeFiles/psmgen_core.dir/report.cpp.o.d"
+  "CMakeFiles/psmgen_core.dir/xu_automaton.cpp.o"
+  "CMakeFiles/psmgen_core.dir/xu_automaton.cpp.o.d"
+  "libpsmgen_core.a"
+  "libpsmgen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmgen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

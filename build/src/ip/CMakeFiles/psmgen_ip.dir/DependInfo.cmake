@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/aes.cpp" "src/ip/CMakeFiles/psmgen_ip.dir/aes.cpp.o" "gcc" "src/ip/CMakeFiles/psmgen_ip.dir/aes.cpp.o.d"
+  "/root/repo/src/ip/camellia.cpp" "src/ip/CMakeFiles/psmgen_ip.dir/camellia.cpp.o" "gcc" "src/ip/CMakeFiles/psmgen_ip.dir/camellia.cpp.o.d"
+  "/root/repo/src/ip/ip_factory.cpp" "src/ip/CMakeFiles/psmgen_ip.dir/ip_factory.cpp.o" "gcc" "src/ip/CMakeFiles/psmgen_ip.dir/ip_factory.cpp.o.d"
+  "/root/repo/src/ip/multsum.cpp" "src/ip/CMakeFiles/psmgen_ip.dir/multsum.cpp.o" "gcc" "src/ip/CMakeFiles/psmgen_ip.dir/multsum.cpp.o.d"
+  "/root/repo/src/ip/ram.cpp" "src/ip/CMakeFiles/psmgen_ip.dir/ram.cpp.o" "gcc" "src/ip/CMakeFiles/psmgen_ip.dir/ram.cpp.o.d"
+  "/root/repo/src/ip/testbench.cpp" "src/ip/CMakeFiles/psmgen_ip.dir/testbench.cpp.o" "gcc" "src/ip/CMakeFiles/psmgen_ip.dir/testbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psmgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/psmgen_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/psmgen_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmgen_ip.dir/aes.cpp.o"
+  "CMakeFiles/psmgen_ip.dir/aes.cpp.o.d"
+  "CMakeFiles/psmgen_ip.dir/camellia.cpp.o"
+  "CMakeFiles/psmgen_ip.dir/camellia.cpp.o.d"
+  "CMakeFiles/psmgen_ip.dir/ip_factory.cpp.o"
+  "CMakeFiles/psmgen_ip.dir/ip_factory.cpp.o.d"
+  "CMakeFiles/psmgen_ip.dir/multsum.cpp.o"
+  "CMakeFiles/psmgen_ip.dir/multsum.cpp.o.d"
+  "CMakeFiles/psmgen_ip.dir/ram.cpp.o"
+  "CMakeFiles/psmgen_ip.dir/ram.cpp.o.d"
+  "CMakeFiles/psmgen_ip.dir/testbench.cpp.o"
+  "CMakeFiles/psmgen_ip.dir/testbench.cpp.o.d"
+  "libpsmgen_ip.a"
+  "libpsmgen_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmgen_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

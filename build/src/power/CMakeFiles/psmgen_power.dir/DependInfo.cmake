@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/activity.cpp" "src/power/CMakeFiles/psmgen_power.dir/activity.cpp.o" "gcc" "src/power/CMakeFiles/psmgen_power.dir/activity.cpp.o.d"
+  "/root/repo/src/power/gate_estimator.cpp" "src/power/CMakeFiles/psmgen_power.dir/gate_estimator.cpp.o" "gcc" "src/power/CMakeFiles/psmgen_power.dir/gate_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psmgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/psmgen_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/psmgen_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

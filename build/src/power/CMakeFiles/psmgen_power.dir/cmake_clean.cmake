@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmgen_power.dir/activity.cpp.o"
+  "CMakeFiles/psmgen_power.dir/activity.cpp.o.d"
+  "CMakeFiles/psmgen_power.dir/gate_estimator.cpp.o"
+  "CMakeFiles/psmgen_power.dir/gate_estimator.cpp.o.d"
+  "libpsmgen_power.a"
+  "libpsmgen_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmgen_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

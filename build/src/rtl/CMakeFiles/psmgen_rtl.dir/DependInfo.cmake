@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/device.cpp" "src/rtl/CMakeFiles/psmgen_rtl.dir/device.cpp.o" "gcc" "src/rtl/CMakeFiles/psmgen_rtl.dir/device.cpp.o.d"
+  "/root/repo/src/rtl/simulator.cpp" "src/rtl/CMakeFiles/psmgen_rtl.dir/simulator.cpp.o" "gcc" "src/rtl/CMakeFiles/psmgen_rtl.dir/simulator.cpp.o.d"
+  "/root/repo/src/rtl/stimulus.cpp" "src/rtl/CMakeFiles/psmgen_rtl.dir/stimulus.cpp.o" "gcc" "src/rtl/CMakeFiles/psmgen_rtl.dir/stimulus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psmgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/psmgen_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

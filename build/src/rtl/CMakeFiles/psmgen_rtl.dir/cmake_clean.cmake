@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmgen_rtl.dir/device.cpp.o"
+  "CMakeFiles/psmgen_rtl.dir/device.cpp.o.d"
+  "CMakeFiles/psmgen_rtl.dir/simulator.cpp.o"
+  "CMakeFiles/psmgen_rtl.dir/simulator.cpp.o.d"
+  "CMakeFiles/psmgen_rtl.dir/stimulus.cpp.o"
+  "CMakeFiles/psmgen_rtl.dir/stimulus.cpp.o.d"
+  "libpsmgen_rtl.a"
+  "libpsmgen_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmgen_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmgen_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/psmgen_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/psmgen_stats.dir/regression.cpp.o"
+  "CMakeFiles/psmgen_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/psmgen_stats.dir/special.cpp.o"
+  "CMakeFiles/psmgen_stats.dir/special.cpp.o.d"
+  "CMakeFiles/psmgen_stats.dir/ttest.cpp.o"
+  "CMakeFiles/psmgen_stats.dir/ttest.cpp.o.d"
+  "libpsmgen_stats.a"
+  "libpsmgen_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmgen_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsmgen_stats.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmgen_sysc.dir/kernel.cpp.o"
+  "CMakeFiles/psmgen_sysc.dir/kernel.cpp.o.d"
+  "CMakeFiles/psmgen_sysc.dir/modules.cpp.o"
+  "CMakeFiles/psmgen_sysc.dir/modules.cpp.o.d"
+  "libpsmgen_sysc.a"
+  "libpsmgen_sysc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmgen_sysc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmgen_cli.dir/psmgen_cli.cpp.o"
+  "CMakeFiles/psmgen_cli.dir/psmgen_cli.cpp.o.d"
+  "psmgen"
+  "psmgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmgen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

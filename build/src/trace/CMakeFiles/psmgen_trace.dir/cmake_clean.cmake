@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmgen_trace.dir/functional_trace.cpp.o"
+  "CMakeFiles/psmgen_trace.dir/functional_trace.cpp.o.d"
+  "CMakeFiles/psmgen_trace.dir/power_trace.cpp.o"
+  "CMakeFiles/psmgen_trace.dir/power_trace.cpp.o.d"
+  "CMakeFiles/psmgen_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/psmgen_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/psmgen_trace.dir/variable.cpp.o"
+  "CMakeFiles/psmgen_trace.dir/variable.cpp.o.d"
+  "CMakeFiles/psmgen_trace.dir/vcd_writer.cpp.o"
+  "CMakeFiles/psmgen_trace.dir/vcd_writer.cpp.o.d"
+  "libpsmgen_trace.a"
+  "libpsmgen_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmgen_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

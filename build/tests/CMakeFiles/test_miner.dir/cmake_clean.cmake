@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miner.dir/test_miner.cpp.o"
+  "CMakeFiles/test_miner.dir/test_miner.cpp.o.d"
+  "test_miner"
+  "test_miner.pdb"
+  "test_miner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

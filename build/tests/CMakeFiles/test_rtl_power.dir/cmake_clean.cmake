@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_power.dir/test_rtl_power.cpp.o"
+  "CMakeFiles/test_rtl_power.dir/test_rtl_power.cpp.o.d"
+  "test_rtl_power"
+  "test_rtl_power.pdb"
+  "test_rtl_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

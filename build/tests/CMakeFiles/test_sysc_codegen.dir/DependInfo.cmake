@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sysc_codegen.cpp" "tests/CMakeFiles/test_sysc_codegen.dir/test_sysc_codegen.cpp.o" "gcc" "tests/CMakeFiles/test_sysc_codegen.dir/test_sysc_codegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/psmgen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/psmgen_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/psmgen_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/psmgen_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/psmgen_sysc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/psmgen_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/psmgen_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/psmgen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sysc_codegen.dir/test_sysc_codegen.cpp.o"
+  "CMakeFiles/test_sysc_codegen.dir/test_sysc_codegen.cpp.o.d"
+  "test_sysc_codegen"
+  "test_sysc_codegen.pdb"
+  "test_sysc_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sysc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
