@@ -73,4 +73,14 @@ std::size_t cyclesArg(int argc, char** argv, std::size_t fallback) {
   return fallback;
 }
 
+unsigned threadsArg(int argc, char** argv, unsigned fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const long v = std::atol(argv[i + 1]);
+      if (v >= 0) return static_cast<unsigned>(v);
+    }
+  }
+  return fallback;
+}
+
 }  // namespace psmgen::bench

@@ -56,4 +56,8 @@ std::size_t planCycles(const std::vector<ip::TraceSpec>& plan);
 /// absent or malformed.
 std::size_t cyclesArg(int argc, char** argv, std::size_t fallback);
 
+/// Reads a "--threads N" override from argv; returns fallback if absent
+/// or malformed (0 = all hardware threads, 1 = sequential).
+unsigned threadsArg(int argc, char** argv, unsigned fallback);
+
 }  // namespace psmgen::bench

@@ -8,12 +8,21 @@
 // power-trace generation time (PrimeTime-PX surrogate), PSM generation
 // time, states, transitions, and the MRE of the PSM estimate against the
 // reference power of the same testset.
+//
+// A third block reports PSM-generation scaling: the Camellia short-TS
+// workload (4 training traces) characterized at 1/2/4/... threads, with
+// the wall-clock speedup over the sequential run and a check that the
+// combined PSM is identical to the 1-thread PSM (the determinism contract
+// of FlowConfig::num_threads). Pass "--threads N" to also run the two
+// paper blocks multi-threaded.
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 #include "core/report.hpp"
 
 namespace {
@@ -48,13 +57,15 @@ PaperRow paperLong(psmgen::ip::IpKind kind) {
 }
 
 void addBlock(psmgen::core::Table& table, psmgen::ip::TestsetMode mode,
-              std::size_t long_cycles) {
+              std::size_t long_cycles, unsigned threads) {
   using namespace psmgen;
   for (const ip::IpKind kind : ip::kAllIps) {
     const auto plan = mode == ip::TestsetMode::Short
                           ? ip::shortTSPlan(kind)
                           : ip::longTSPlan(kind, long_cycles);
-    const bench::FlowRun run = bench::trainFlow(kind, mode, plan);
+    core::FlowConfig config;
+    config.num_threads = threads;
+    const bench::FlowRun run = bench::trainFlow(kind, mode, plan, config);
     const double mre = bench::trainingMre(*run.flow);
     const PaperRow p = mode == ip::TestsetMode::Short ? paperShort(kind)
                                                       : paperLong(kind);
@@ -69,23 +80,82 @@ void addBlock(psmgen::core::Table& table, psmgen::ip::TestsetMode mode,
   }
 }
 
+/// PSM-generation scaling on the 4-trace Camellia short-TS workload: the
+/// training traces are generated once, then the characterization runs at
+/// each thread count on identical inputs. Reports build() wall-clock
+/// (the Table II "PSMs gen." column), speedup over 1 thread, and whether
+/// the combined PSM is identical to the sequential one.
+void printScaling() {
+  using namespace psmgen;
+  const ip::IpKind kind = ip::IpKind::Camellia;
+  auto device = ip::makeDevice(kind);
+  power::GateLevelEstimator estimator(*device, ip::powerConfig(kind));
+  std::vector<power::GateLevelEstimator::Result> pairs;
+  std::size_t total_cycles = 0;
+  for (const ip::TraceSpec& spec : ip::shortTSPlan(kind)) {
+    auto tb = ip::makeTestbench(kind, ip::TestsetMode::Short, spec.seed);
+    pairs.push_back(estimator.run(*tb, spec.cycles));
+    total_cycles += spec.cycles;
+  }
+
+  std::printf("\n== PSM generation scaling: %s short-TS "
+              "(%zu traces, %zu instants) ==\n",
+              ip::ipName(kind).c_str(), pairs.size(), total_cycles);
+  const unsigned hw = common::ThreadPool::resolveThreads(0);
+  std::printf("(hardware threads available: %u)\n\n", hw);
+
+  std::vector<unsigned> counts{1, 2, 4};
+  if (hw > 4) counts.push_back(hw);
+
+  core::Table table({"Threads", "PSMs gen. (s)", "Speedup",
+                     "PSM identical to 1-thread"});
+  core::Psm baseline;
+  double baseline_seconds = 0.0;
+  for (const unsigned threads : counts) {
+    core::FlowConfig config;
+    config.num_threads = threads;
+    core::CharacterizationFlow flow(config);
+    for (const auto& pair : pairs) {
+      flow.addTrainingTrace(pair.functional, pair.power);
+    }
+    const core::BuildReport report = flow.build();
+    std::string identical = "-";
+    if (threads == 1) {
+      baseline = flow.psm();
+      baseline_seconds = report.generation_seconds;
+    } else {
+      identical = flow.psm() == baseline ? "yes" : "NO";
+    }
+    table.addRow({std::to_string(threads),
+                  common::formatDouble(report.generation_seconds, 3),
+                  common::formatDouble(
+                      baseline_seconds / report.generation_seconds, 2) + "x",
+                  identical});
+  }
+  table.print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace psmgen;
   const std::size_t long_cycles = bench::cyclesArg(argc, argv, 500000);
+  const unsigned threads = bench::threadsArg(argc, argv, 1);
 
   std::printf("== Table II: characteristics of the generated PSMs ==\n");
   std::printf("(top block: short-TS / verification testsets; bottom block: "
-              "long-TS, %zu instants)\n\n", long_cycles);
+              "long-TS, %zu instants; %u thread(s))\n\n",
+              long_cycles, threads);
 
   core::Table table({"IP", "TS", "PX (s)", "PSMs gen. (s)", "States",
                      "Trans.", "MRE", "paper:States", "paper:Trans.",
                      "paper:MRE"});
-  addBlock(table, ip::TestsetMode::Short, long_cycles);
+  addBlock(table, ip::TestsetMode::Short, long_cycles, threads);
   table.addSeparator();
-  addBlock(table, ip::TestsetMode::Long, long_cycles);
+  addBlock(table, ip::TestsetMode::Long, long_cycles, threads);
   table.print(std::cout);
+
+  printScaling();
 
   std::printf(
       "\nShape check (paper Sec. VI): RAM has the lowest MRE (strong\n"

@@ -1,0 +1,148 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+
+namespace psmgen::common {
+
+namespace {
+// Set for the lifetime of a worker thread; parallelFor degrades to an
+// inline loop when invoked from a worker so nested calls cannot deadlock.
+thread_local bool tls_inside_worker = false;
+}  // namespace
+
+struct ThreadPool::Job {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t)>* body = nullptr;
+  ThreadPool* pool = nullptr;
+
+  std::atomic<std::size_t> cursor{0};  ///< next index to hand out
+  std::atomic<std::size_t> done{0};    ///< iterations finished
+
+  // Guarded by pool->mutex_: participants currently inside runChunks and
+  // the error of the lowest-indexed failing chunk.
+  std::size_t active = 0;
+  std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+};
+
+unsigned ThreadPool::resolveThreads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : thread_count_(resolveThreads(num_threads)) {
+  workers_.reserve(thread_count_ > 0 ? thread_count_ - 1 : 0);
+  for (unsigned i = 1; i < thread_count_; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::runChunks(Job& job) {
+  while (true) {
+    const std::size_t begin =
+        job.cursor.fetch_add(job.grain, std::memory_order_relaxed);
+    if (begin >= job.n) break;
+    const std::size_t end = std::min(job.n, begin + job.grain);
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*job.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.pool->mutex_);
+      if (begin < job.error_chunk) {
+        job.error_chunk = begin;
+        job.error = std::current_exception();
+      }
+    }
+    const std::size_t finished =
+        job.done.fetch_add(end - begin, std::memory_order_acq_rel) +
+        (end - begin);
+    if (finished == job.n) {
+      // Completion may be observed by a worker, not the caller: wake it.
+      std::lock_guard<std::mutex> lock(job.pool->mutex_);
+      job.pool->done_cv_.notify_all();
+      break;
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  tls_inside_worker = true;
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && generation_ != seen_generation);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    Job& job = *job_;
+    ++job.active;
+    lock.unlock();
+    runChunks(job);
+    lock.lock();
+    --job.active;
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body,
+                             std::size_t grain) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  if (workers_.empty() || n <= grain || tls_inside_worker) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  Job job;
+  job.n = n;
+  job.grain = grain;
+  job.body = &body;
+  job.pool = this;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  runChunks(job);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Wait for the last iteration *and* for every worker to step out of the
+  // job before it goes out of scope (a worker that lost the race for the
+  // final chunk may still be touching the cursor).
+  done_cv_.wait(lock, [&] {
+    return job.done.load(std::memory_order_acquire) == job.n &&
+           job.active == 0;
+  });
+  job_ = nullptr;
+  lock.unlock();
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  pool->parallelFor(n, body, grain);
+}
+
+}  // namespace psmgen::common

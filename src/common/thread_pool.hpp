@@ -1,0 +1,83 @@
+#pragma once
+// Fixed-size, work-stealing-free thread pool with a blocking parallel-for.
+//
+// The pool exists to parallelize the embarrassingly parallel stages of the
+// characterization flow (per-atom mining statistics, per-trace proposition
+// evaluation / PSM generation / chain simplification, per-representative
+// mergeability tests). Those stages share one shape: N independent
+// iterations whose results land in pre-sized output slots, so the combined
+// result is independent of task completion order. parallelFor() is the
+// only scheduling primitive: iterations are handed out as contiguous index
+// chunks from a shared atomic cursor — no per-thread deques, no stealing.
+//
+// Determinism contract: a pool constructed with one thread runs every
+// parallelFor inline on the caller, in index order — byte-for-byte the
+// sequential loop it replaces. With more threads only the execution
+// schedule changes; callers keep results deterministic by writing to
+// per-index slots and reducing in index order afterwards.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psmgen::common {
+
+class ThreadPool {
+ public:
+  /// Resolves a `num_threads` config knob: 0 means "all hardware threads"
+  /// (at least 1 when hardware_concurrency is unknown).
+  static unsigned resolveThreads(unsigned requested);
+
+  /// Spawns resolveThreads(num_threads) - 1 worker threads (the caller of
+  /// parallelFor is always the remaining participant). A pool of one
+  /// thread spawns no workers at all.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threadCount() const { return thread_count_; }
+
+  /// Runs body(i) for every i in [0, n) and blocks until all iterations
+  /// completed. Iterations are dealt out in chunks of `grain` consecutive
+  /// indices. Runs inline (sequential, in index order) when the pool has
+  /// one thread, when n <= grain, or when called from inside a pool worker
+  /// (nested parallelism would deadlock a fixed pool, so it degrades to a
+  /// plain loop).
+  ///
+  /// Exceptions: every chunk runs to completion even if another chunk
+  /// throws; afterwards the exception of the lowest-indexed failing chunk
+  /// is rethrown on the caller. With grain == 1 this makes the observed
+  /// exception deterministic regardless of thread count.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                   std::size_t grain = 1);
+
+ private:
+  struct Job;
+
+  void workerLoop();
+  static void runChunks(Job& job);
+
+  unsigned thread_count_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers wait here for a new job
+  std::condition_variable done_cv_;  ///< parallelFor waits here for completion
+  Job* job_ = nullptr;               ///< current job (guarded by mutex_)
+  std::uint64_t generation_ = 0;     ///< bumped per job (guarded by mutex_)
+  bool stop_ = false;                ///< guarded by mutex_
+};
+
+/// Convenience wrapper used by the flow: runs body(i) for i in [0, n),
+/// inline when `pool` is nullptr (the sequential / num_threads == 1 path).
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace psmgen::common

@@ -1,8 +1,12 @@
 #include "core/flow.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
+#include "common/thread_pool.hpp"
 #include "core/generator.hpp"
 
 namespace psmgen::core {
@@ -33,34 +37,83 @@ BuildReport CharacterizationFlow::build() {
   const auto t0 = std::chrono::steady_clock::now();
   BuildReport report;
 
-  // III-A: mine the shared proposition domain.
-  AssertionMiner miner(config_.miner);
+  // One pool for the whole build; null on the num_threads == 1 path so
+  // every parallel_for below degenerates to the seed's sequential loops.
+  std::unique_ptr<common::ThreadPool> pool_storage;
+  common::ThreadPool* pool = nullptr;
+  if (common::ThreadPool::resolveThreads(config_.num_threads) > 1) {
+    pool_storage = std::make_unique<common::ThreadPool>(config_.num_threads);
+    pool = pool_storage.get();
+  }
+
+  // III-A: mine the shared proposition domain. The flow-level knob
+  // governs every stage, including mining.
+  MinerConfig miner_config = config_.miner;
+  miner_config.num_threads = config_.num_threads;
+  AssertionMiner miner(miner_config);
   std::vector<const trace::FunctionalTrace*> views;
   views.reserve(functional_.size());
   for (const auto& f : functional_) views.push_back(&f);
-  domain_ = std::make_unique<PropositionDomain>(miner.buildDomain(views));
+  domain_ = std::make_unique<PropositionDomain>(miner.buildDomain(views, pool));
   report.atoms = domain_->atoms().size();
 
-  // III-B: one chain PSM per training pair.
-  raw_psms_.clear();
-  for (std::size_t i = 0; i < functional_.size(); ++i) {
-    const PropositionTrace gamma =
-        AssertionMiner::tracePropositions(*domain_, functional_[i]);
-    raw_psms_.push_back(
-        PsmGenerator::generate(gamma, power_[i], static_cast<int>(i)));
-    report.raw_states += raw_psms_.back().stateCount();
-  }
-  report.propositions = domain_->size();
-
-  // IV: simplify each chain, then join the set.
-  std::vector<Psm> simplified = raw_psms_;
-  if (config_.apply_simplify) {
-    for (auto& p : simplified) {
-      report.simplified_pairs += simplify(p, config_.merge);
+  // III-B: one chain PSM per training pair. Evaluating the atom set on
+  // every instant dominates, and PropositionDomain::evalRow is const, so
+  // signatures are computed in parallel over row chunks of all traces.
+  // Interning then runs sequentially in trace/row order: PropIds keep the
+  // exact first-seen numbering of the sequential pipeline.
+  const std::size_t trace_count = functional_.size();
+  std::vector<std::vector<Signature>> signatures(trace_count);
+  struct RowChunk {
+    std::size_t trace;
+    std::size_t begin;
+    std::size_t end;
+  };
+  constexpr std::size_t kRowChunk = 2048;
+  std::vector<RowChunk> chunks;
+  for (std::size_t i = 0; i < trace_count; ++i) {
+    const std::size_t len = functional_[i].length();
+    signatures[i].resize(len);
+    for (std::size_t b = 0; b < len; b += kRowChunk) {
+      chunks.push_back({i, b, std::min(len, b + kRowChunk)});
     }
   }
+  common::parallel_for(pool, chunks.size(), [&](std::size_t c) {
+    const RowChunk& chunk = chunks[c];
+    const trace::FunctionalTrace& f = functional_[chunk.trace];
+    for (std::size_t t = chunk.begin; t < chunk.end; ++t) {
+      signatures[chunk.trace][t] = domain_->evalRow(f.step(t));
+    }
+  });
+  std::vector<PropositionTrace> gammas(trace_count);
+  for (std::size_t i = 0; i < trace_count; ++i) {
+    gammas[i].ids.reserve(signatures[i].size());
+    for (const Signature& sig : signatures[i]) {
+      gammas[i].ids.push_back(domain_->intern(sig));
+    }
+    signatures[i] = {};  // free as we go; traces can be large
+  }
+
+  // XU-automaton walk per trace, into pre-sized slots.
+  raw_psms_.assign(trace_count, Psm{});
+  common::parallel_for(pool, trace_count, [&](std::size_t i) {
+    raw_psms_[i] =
+        PsmGenerator::generate(gammas[i], power_[i], static_cast<int>(i));
+  });
+  for (const Psm& p : raw_psms_) report.raw_states += p.stateCount();
+  report.propositions = domain_->size();
+
+  // IV: simplify each chain (independent per trace), then join the set.
+  std::vector<Psm> simplified = raw_psms_;
+  if (config_.apply_simplify) {
+    std::vector<std::size_t> fused(trace_count, 0);
+    common::parallel_for(pool, trace_count, [&](std::size_t i) {
+      fused[i] = simplify(simplified[i], config_.merge);
+    });
+    for (const std::size_t f : fused) report.simplified_pairs += f;
+  }
   combined_ = config_.apply_join
-                  ? join(simplified, config_.merge)
+                  ? join(simplified, config_.merge, pool)
                   : disjointUnion(simplified);
 
   // IV: regression refinement of data-dependent states.

@@ -31,6 +31,14 @@ struct FlowConfig {
   bool apply_simplify = true;
   bool apply_join = true;
   bool apply_refine = true;
+  /// Threads for the embarrassingly parallel stages of build(): per-atom
+  /// mining statistics, per-trace proposition evaluation / XU-automaton
+  /// walk / chain simplification, and the pairwise mergeability tests of
+  /// the join. 0 = all hardware threads, 1 = the sequential seed path.
+  /// The combined PSM is bit-identical for every value: parallel results
+  /// land in per-index slots, proposition interning and merging stay in
+  /// fixed index order. (Overrides miner.num_threads inside build().)
+  unsigned num_threads = 1;
 };
 
 struct BuildReport {

@@ -231,7 +231,8 @@ double rangeGap(const PowerAttr& a, const PowerAttr& b) {
 
 }  // namespace
 
-Psm join(const std::vector<Psm>& psms, const MergePolicy& pol) {
+Psm join(const std::vector<Psm>& psms, const MergePolicy& pol,
+         common::ThreadPool* pool) {
   Psm merged = disjointUnion(psms);
   if (merged.stateCount() == 0) return merged;
 
@@ -259,6 +260,16 @@ Psm join(const std::vector<Psm>& psms, const MergePolicy& pol) {
   // against the bucket's current cluster representatives; repeated until
   // a pass makes no change (pooled attributes move as clusters grow, so
   // one pass is not always enough).
+  //
+  // The member loop itself is inherently sequential (every absorption
+  // mutates the representative's pooled attributes, which later tests
+  // observe), but the mergeability tests of one member against the
+  // current representatives are pure and independent: they fan out over
+  // the pool, and taking the lowest-indexed fitting representative
+  // reproduces the sequential first-fit scan exactly. Small rep sets stay
+  // inline — a t-test costs far less than waking the pool.
+  constexpr std::size_t kParallelRepThreshold = 128;
+  std::vector<char> rep_fits;
   auto cluster = [&](const std::vector<std::size_t>& members, auto&& fits) {
     bool changed = true;
     while (changed) {
@@ -266,20 +277,41 @@ Psm join(const std::vector<Psm>& psms, const MergePolicy& pol) {
       std::vector<std::size_t> reps;
       for (const std::size_t m : members) {
         if (!alive[m]) continue;
-        bool absorbed = false;
-        for (const std::size_t r : reps) {
-          if (!fits(merged.state(static_cast<StateId>(r)),
-                    merged.state(static_cast<StateId>(m)))) {
-            continue;
+        std::size_t hit = reps.size();
+        if (pool != nullptr && reps.size() >= kParallelRepThreshold) {
+          rep_fits.assign(reps.size(), 0);
+          pool->parallelFor(
+              reps.size(),
+              [&](std::size_t r) {
+                rep_fits[r] = fits(merged.state(static_cast<StateId>(reps[r])),
+                                   merged.state(static_cast<StateId>(m)))
+                                  ? 1
+                                  : 0;
+              },
+              /*grain=*/16);
+          for (std::size_t r = 0; r < reps.size(); ++r) {
+            if (rep_fits[r]) {
+              hit = r;
+              break;
+            }
           }
-          fusePayload(merged, r, m);
-          alive[m] = 0;
-          parent[m] = r;
-          absorbed = true;
-          changed = true;
-          break;
+        } else {
+          for (std::size_t r = 0; r < reps.size(); ++r) {
+            if (fits(merged.state(static_cast<StateId>(reps[r])),
+                     merged.state(static_cast<StateId>(m)))) {
+              hit = r;
+              break;
+            }
+          }
         }
-        if (!absorbed) reps.push_back(m);
+        if (hit < reps.size()) {
+          fusePayload(merged, reps[hit], m);
+          alive[m] = 0;
+          parent[m] = reps[hit];
+          changed = true;
+        } else {
+          reps.push_back(m);
+        }
       }
     }
   };

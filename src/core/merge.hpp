@@ -25,6 +25,7 @@
 // t-test rejects physically irrelevant mean differences, so states whose
 // means differ by less than epsilon merge regardless of the p-value.
 
+#include "common/thread_pool.hpp"
 #include "core/psm.hpp"
 #include "stats/ttest.hpp"
 
@@ -74,8 +75,13 @@ std::size_t simplify(Psm& psm, const MergePolicy& pol);
 
 /// Joins a set of simplified PSMs into one PSM with one initial state per
 /// input chain (merged initials accumulate initial_count). Runs the
-/// cross-PSM merge to fixpoint.
-Psm join(const std::vector<Psm>& psms, const MergePolicy& pol);
+/// cross-PSM merge to fixpoint. A non-null pool parallelizes the pairwise
+/// mergeability tests of each state against the cluster representatives;
+/// the merge order (and thus the joined PSM) is identical to the
+/// sequential run because the lowest-indexed fitting representative is
+/// chosen regardless of which test finishes first.
+Psm join(const std::vector<Psm>& psms, const MergePolicy& pol,
+         common::ThreadPool* pool = nullptr);
 
 /// Union of two PSMs without any merging (used internally and by tests).
 Psm disjointUnion(const std::vector<Psm>& psms);

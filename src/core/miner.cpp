@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <memory>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -31,21 +32,74 @@ void checkTraces(const std::vector<const trace::FunctionalTrace*>& traces) {
   }
 }
 
+/// Support / toggle / run-structure counters of one candidate atom over
+/// the whole training set. Each atom's scan is independent, so the
+/// statistics pass parallelizes per atom into pre-sized slots.
+struct AtomStats {
+  std::size_t hold = 0;
+  std::size_t toggles = 0;
+  // Per-polarity run statistics: [polarity].
+  std::array<std::size_t, 2> runs{{0, 0}};
+  std::array<std::size_t, 2> singleton_runs{{0, 0}};
+};
+
+AtomStats scanAtom(const AtomicProposition& atom,
+                   const std::vector<const trace::FunctionalTrace*>& traces) {
+  AtomStats s;
+  char prev_truth = 0;
+  std::size_t run_len = 0;
+  for (const auto* t : traces) {
+    for (std::size_t i = 0; i < t->length(); ++i) {
+      const char truth = atom.eval(t->step(i)) ? 1 : 0;
+      s.hold += static_cast<std::size_t>(truth);
+      const bool boundary = (i == 0);
+      if (boundary || truth != prev_truth) {
+        // Close the previous run (toggle counting restarts per trace).
+        if (!boundary) ++s.toggles;
+        if (run_len > 0) {
+          ++s.runs[static_cast<std::size_t>(prev_truth)];
+          if (run_len == 1) {
+            ++s.singleton_runs[static_cast<std::size_t>(prev_truth)];
+          }
+        }
+        run_len = 1;
+      } else {
+        ++run_len;
+      }
+      prev_truth = truth;
+    }
+  }
+  if (run_len > 0) {
+    ++s.runs[static_cast<std::size_t>(prev_truth)];
+    if (run_len == 1) ++s.singleton_runs[static_cast<std::size_t>(prev_truth)];
+  }
+  return s;
+}
+
 }  // namespace
 
 std::vector<AtomicProposition> AssertionMiner::candidateAtoms(
-    const std::vector<const trace::FunctionalTrace*>& traces) const {
+    const std::vector<const trace::FunctionalTrace*>& traces,
+    common::ThreadPool* pool) const {
   const trace::VariableSet& vars = traces.front()->variables();
   const std::size_t total = totalLength(traces);
-  std::vector<AtomicProposition> atoms;
-  std::vector<char> control_flags(vars.size(), 0);
 
-  for (std::size_t v = 0; v < vars.size(); ++v) {
+  // Candidate extraction is independent per variable; results go into
+  // per-variable slots and are concatenated in variable order, so the
+  // candidate list is identical for every thread count.
+  struct VarCandidates {
+    std::vector<AtomicProposition> atoms;
+    char control = 0;
+  };
+  std::vector<VarCandidates> per_var(vars.size());
+
+  common::parallel_for(pool, vars.size(), [&](std::size_t v) {
+    VarCandidates& out = per_var[v];
     const int vid = static_cast<int>(v);
     if (vars[v].width == 1) {
-      control_flags[v] = 1;
-      atoms.push_back({vid, CmpOp::Eq, -1, common::BitVector(1, 1)});
-      continue;
+      out.control = 1;
+      out.atoms.push_back({vid, CmpOp::Eq, -1, common::BitVector(1, 1)});
+      return;
     }
     // Frequent-constant mining for wide variables.
     std::unordered_map<common::BitVector, std::size_t, common::BitVectorHash>
@@ -66,15 +120,15 @@ std::vector<AtomicProposition> AssertionMiner::candidateAtoms(
     }
     const bool control_like =
         !overflow && counts.size() <= config_.max_distinct_for_constants;
-    control_flags[v] = control_like ? 1 : 0;
+    out.control = control_like ? 1 : 0;
     if (!control_like) {
       // Data-like variable: no constant atoms; the zero atom (if enabled)
       // still captures the common "bus held at 0" behaviour.
       if (config_.mine_zero) {
-        atoms.push_back(
+        out.atoms.push_back(
             {vid, CmpOp::Eq, -1, common::BitVector(vars[v].width, 0)});
       }
-      continue;
+      return;
     }
     std::vector<std::pair<common::BitVector, std::size_t>> frequent(
         counts.begin(), counts.end());
@@ -90,13 +144,19 @@ std::vector<AtomicProposition> AssertionMiner::candidateAtoms(
     for (const auto& [value, count] : frequent) {
       if (taken >= config_.max_constants_per_var) break;
       if (count < std::max<std::size_t>(min_count, 2)) break;
-      atoms.push_back({vid, CmpOp::Eq, -1, value});
+      out.atoms.push_back({vid, CmpOp::Eq, -1, value});
       if (value.isZero()) zero_taken = true;
       ++taken;
     }
     if (config_.mine_zero && !zero_taken) {
-      atoms.push_back({vid, CmpOp::Eq, -1, common::BitVector(vars[v].width, 0)});
+      out.atoms.push_back(
+          {vid, CmpOp::Eq, -1, common::BitVector(vars[v].width, 0)});
     }
+  });
+
+  std::vector<AtomicProposition> atoms;
+  for (const VarCandidates& vc : per_var) {
+    atoms.insert(atoms.end(), vc.atoms.begin(), vc.atoms.end());
   }
 
   if (config_.mine_var_var) {
@@ -108,7 +168,7 @@ std::vector<AtomicProposition> AssertionMiner::candidateAtoms(
     for (std::size_t i = 0; i < vars.size(); ++i) {
       for (std::size_t j = i + 1; j < vars.size(); ++j) {
         if (vars[i].width != vars[j].width || vars[i].width == 1) continue;
-        if (!control_flags[i] || !control_flags[j]) continue;
+        if (!per_var[i].control || !per_var[j].control) continue;
         atoms.push_back({static_cast<int>(i), CmpOp::Eq,
                          static_cast<int>(j), common::BitVector()});
         atoms.push_back({static_cast<int>(i), CmpOp::Gt,
@@ -120,65 +180,43 @@ std::vector<AtomicProposition> AssertionMiner::candidateAtoms(
 }
 
 std::vector<AtomicProposition> AssertionMiner::mineAtoms(
-    const std::vector<const trace::FunctionalTrace*>& traces) const {
+    const std::vector<const trace::FunctionalTrace*>& traces,
+    common::ThreadPool* pool) const {
   checkTraces(traces);
-  std::vector<AtomicProposition> candidates = candidateAtoms(traces);
+  std::unique_ptr<common::ThreadPool> local_pool;
+  if (pool == nullptr &&
+      common::ThreadPool::resolveThreads(config_.num_threads) > 1) {
+    local_pool = std::make_unique<common::ThreadPool>(config_.num_threads);
+    pool = local_pool.get();
+  }
+
+  std::vector<AtomicProposition> candidates = candidateAtoms(traces, pool);
   const std::size_t total = totalLength(traces);
 
-  // Support, toggle-rate and run-structure filtering.
-  std::vector<std::size_t> hold_count(candidates.size(), 0);
-  std::vector<std::size_t> toggle_count(candidates.size(), 0);
-  // Per-polarity run statistics: [atom][polarity].
-  std::vector<std::array<std::size_t, 2>> run_count(candidates.size(), {0, 0});
-  std::vector<std::array<std::size_t, 2>> singleton_runs(candidates.size(),
-                                                         {0, 0});
-  std::vector<char> prev_truth(candidates.size(), 0);
-  std::vector<std::size_t> run_len(candidates.size(), 0);
-  for (const auto* t : traces) {
-    for (std::size_t i = 0; i < t->length(); ++i) {
-      const auto& row = t->step(i);
-      const bool boundary = (i == 0);
-      for (std::size_t a = 0; a < candidates.size(); ++a) {
-        const char truth = candidates[a].eval(row) ? 1 : 0;
-        hold_count[a] += truth;
-        if (boundary || truth != prev_truth[a]) {
-          // Close the previous run (toggle counting restarts per trace).
-          if (!boundary) ++toggle_count[a];
-          if (run_len[a] > 0) {
-            ++run_count[a][prev_truth[a]];
-            if (run_len[a] == 1) ++singleton_runs[a][prev_truth[a]];
-          }
-          run_len[a] = 1;
-        } else {
-          ++run_len[a];
-        }
-        prev_truth[a] = truth;
-      }
-    }
-  }
-  for (std::size_t a = 0; a < candidates.size(); ++a) {
-    if (run_len[a] > 0) {
-      ++run_count[a][prev_truth[a]];
-      if (run_len[a] == 1) ++singleton_runs[a][prev_truth[a]];
-    }
-  }
+  // Support, toggle-rate and run-structure filtering. One full-trace scan
+  // per atom; scans are independent and land in per-atom slots.
+  std::vector<AtomStats> stats(candidates.size());
+  common::parallel_for(pool, candidates.size(), [&](std::size_t a) {
+    stats[a] = scanAtom(candidates[a], traces);
+  });
 
   const trace::VariableSet& vars = traces.front()->variables();
   std::vector<AtomicProposition> kept;
   for (std::size_t a = 0; a < candidates.size(); ++a) {
-    if (hold_count[a] == 0 || hold_count[a] == total) continue;  // constant
+    if (stats[a].hold == 0 || stats[a].hold == total) continue;  // constant
     const double toggle_rate =
-        static_cast<double>(toggle_count[a]) / static_cast<double>(total);
+        static_cast<double>(stats[a].toggles) / static_cast<double>(total);
     if (toggle_rate > config_.max_toggle_rate) continue;  // noise
     const bool boolean_atom =
         vars[static_cast<std::size_t>(candidates[a].lhs)].width == 1;
     if (!boolean_atom) {
       bool spiky = false;
       for (int pol = 0; pol < 2; ++pol) {
-        if (run_count[a][pol] == 0) continue;
+        if (stats[a].runs[static_cast<std::size_t>(pol)] == 0) continue;
         const double singleton_fraction =
-            static_cast<double>(singleton_runs[a][pol]) /
-            static_cast<double>(run_count[a][pol]);
+            static_cast<double>(
+                stats[a].singleton_runs[static_cast<std::size_t>(pol)]) /
+            static_cast<double>(stats[a].runs[static_cast<std::size_t>(pol)]);
         if (singleton_fraction > config_.max_singleton_run_fraction) {
           spiky = true;
         }
@@ -191,9 +229,11 @@ std::vector<AtomicProposition> AssertionMiner::mineAtoms(
 }
 
 PropositionDomain AssertionMiner::buildDomain(
-    const std::vector<const trace::FunctionalTrace*>& traces) const {
+    const std::vector<const trace::FunctionalTrace*>& traces,
+    common::ThreadPool* pool) const {
   checkTraces(traces);
-  return PropositionDomain(traces.front()->variables(), mineAtoms(traces));
+  return PropositionDomain(traces.front()->variables(),
+                           mineAtoms(traces, pool));
 }
 
 PropositionTrace AssertionMiner::tracePropositions(

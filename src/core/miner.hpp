@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/proposition.hpp"
 #include "trace/functional_trace.hpp"
 
@@ -50,6 +51,12 @@ struct MinerConfig {
   /// Cap on distinct values tracked per variable while hunting for
   /// frequent constants (bounds memory on random data).
   std::size_t value_track_limit = 4096;
+  /// Threads used for candidate extraction and the per-atom statistics
+  /// scan when the caller does not hand in a pool: 0 = all hardware
+  /// threads, 1 = the sequential seed path. Mined atoms are independent
+  /// of the thread count (per-variable / per-atom results land in
+  /// pre-sized slots and are concatenated in index order).
+  unsigned num_threads = 1;
 };
 
 class AssertionMiner {
@@ -57,13 +64,16 @@ class AssertionMiner {
   explicit AssertionMiner(MinerConfig config = {}) : config_(config) {}
 
   /// Phase 1 over the union of all training traces; all traces must share
-  /// one variable set. Returns the filtered atom list.
+  /// one variable set. Returns the filtered atom list. When `pool` is
+  /// null, a private pool honouring config.num_threads is used.
   std::vector<AtomicProposition> mineAtoms(
-      const std::vector<const trace::FunctionalTrace*>& traces) const;
+      const std::vector<const trace::FunctionalTrace*>& traces,
+      common::ThreadPool* pool = nullptr) const;
 
   /// Builds the shared proposition domain from the mined atoms.
   PropositionDomain buildDomain(
-      const std::vector<const trace::FunctionalTrace*>& traces) const;
+      const std::vector<const trace::FunctionalTrace*>& traces,
+      common::ThreadPool* pool = nullptr) const;
 
   /// Phase 2: proposition trace of one functional trace, interning any new
   /// signatures into the domain.
@@ -72,7 +82,8 @@ class AssertionMiner {
 
  private:
   std::vector<AtomicProposition> candidateAtoms(
-      const std::vector<const trace::FunctionalTrace*>& traces) const;
+      const std::vector<const trace::FunctionalTrace*>& traces,
+      common::ThreadPool* pool) const;
 
   MinerConfig config_;
 };

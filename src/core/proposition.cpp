@@ -98,7 +98,10 @@ std::string PropositionDomain::describe(PropId id) const {
 }
 
 std::string PropositionDomain::shortName(PropId id) const {
-  return id == kNoProp ? "p_nil" : "p" + std::to_string(id);
+  if (id == kNoProp) return "p_nil";
+  std::string out = "p";
+  out += std::to_string(id);
+  return out;
 }
 
 }  // namespace psmgen::core

@@ -50,6 +50,8 @@ struct StateAssertion {
   std::vector<PatternSeq> alts;
   std::vector<std::size_t> counts;
 
+  bool operator==(const StateAssertion&) const = default;
+
   std::size_t countOf(std::size_t alt) const {
     return counts.empty() ? 1 : counts.at(alt);
   }
@@ -89,6 +91,10 @@ struct PowerAttr {
   double cv() const;
   /// Relative spread of interval means: (max - min) / |mean|.
   double span() const;
+
+  /// Exact (bitwise on doubles) equality; used by the determinism checks
+  /// comparing multi-threaded against sequential builds.
+  bool operator==(const PowerAttr&) const = default;
 };
 
 /// A source interval [start, stop] of a training trace.
@@ -125,6 +131,8 @@ struct PowerState {
         regression_scope == HammingScope::Inputs ? hd_inputs : hd_interface;
     return regression->predict(static_cast<double>(hd));
   }
+
+  bool operator==(const PowerState&) const = default;
 };
 
 struct Transition {
@@ -168,6 +176,11 @@ class Psm {
   /// Drops duplicate transitions / initial entries but keeps multiplicity
   /// information in the HMM inputs; used only by tests.
   void validate() const;
+
+  /// Exact structural equality (states with their <mu, sigma, n>
+  /// attributes, transitions, initial set); the determinism contract of
+  /// FlowConfig::num_threads is stated in terms of this comparison.
+  bool operator==(const Psm&) const = default;
 
  private:
   std::vector<PowerState> states_;

@@ -21,6 +21,8 @@ struct LinearFit {
   std::size_t n = 0;
 
   double predict(double x) const { return intercept + slope * x; }
+
+  bool operator==(const LinearFit&) const = default;
 };
 
 /// Pearson correlation coefficient; returns 0 when either variable is

@@ -15,6 +15,7 @@
 // of one of the paper's benchmark IPs end to end.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -36,10 +37,13 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  psmgen generate --func F.csv --power F.pw [...] "
-               "[--dot out.dot] [--systemc out.cpp] [--plain]\n"
+               "[--dot out.dot] [--systemc out.cpp] [--plain] [--threads N]\n"
                "  psmgen estimate --func F.csv --power F.pw [...] "
-               "--eval E.csv [--ref E.pw]\n"
-               "  psmgen demo <ram|multsum|aes|camellia>\n");
+               "--eval E.csv [--ref E.pw] [--threads N]\n"
+               "  psmgen demo <ram|multsum|aes|camellia> [--threads N]\n"
+               "\n"
+               "  --threads N   characterization threads "
+               "(0 = all hardware threads [default], 1 = sequential)\n");
   return 2;
 }
 
@@ -51,6 +55,7 @@ struct Args {
   std::string dot;
   std::string systemc;
   bool plain = false;
+  unsigned threads = 0;
 };
 
 bool parse(int argc, char** argv, Args& args) {
@@ -85,6 +90,10 @@ bool parse(int argc, char** argv, Args& args) {
       args.systemc = v;
     } else if (flag == "--plain") {
       args.plain = true;
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      args.threads = static_cast<unsigned>(std::atoi(v));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -125,7 +134,9 @@ void writeArtifacts(const core::CharacterizationFlow& flow, const Args& args) {
 }
 
 int runGenerate(const Args& args, bool estimate) {
-  core::CharacterizationFlow flow;
+  core::FlowConfig config;
+  config.num_threads = args.threads;
+  core::CharacterizationFlow flow(config);
   for (std::size_t i = 0; i < args.func.size(); ++i) {
     flow.addTrainingTrace(trace::loadFunctionalTrace(args.func[i]),
                           trace::loadPowerTrace(args.power[i]));
@@ -157,7 +168,7 @@ int runGenerate(const Args& args, bool estimate) {
   return 0;
 }
 
-int runDemo(const std::string& name) {
+int runDemo(const std::string& name, unsigned threads) {
   ip::IpKind kind;
   if (name == "ram") {
     kind = ip::IpKind::Ram;
@@ -172,7 +183,9 @@ int runDemo(const std::string& name) {
   }
   auto device = ip::makeDevice(kind);
   power::GateLevelEstimator estimator(*device, ip::powerConfig(kind));
-  core::CharacterizationFlow flow;
+  core::FlowConfig config;
+  config.num_threads = threads;
+  core::CharacterizationFlow flow(config);
   for (const ip::TraceSpec& spec : ip::shortTSPlan(kind)) {
     auto tb = ip::makeTestbench(kind, ip::TestsetMode::Short, spec.seed);
     auto pair = estimator.run(*tb, spec.cycles);
@@ -195,7 +208,15 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "demo" && argc == 3) return runDemo(argv[2]);
+    if (cmd == "demo" && argc >= 3) {
+      unsigned threads = 0;
+      for (int i = 3; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0) {
+          threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+        }
+      }
+      return runDemo(argv[2], threads);
+    }
     Args args;
     if (!parse(argc, argv, args)) return usage();
     if (cmd == "generate") return runGenerate(args, /*estimate=*/false);

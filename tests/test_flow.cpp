@@ -7,6 +7,8 @@
 
 #include "common/rng.hpp"
 #include "core/flow.hpp"
+#include "ip/ip_factory.hpp"
+#include "power/gate_estimator.hpp"
 
 namespace psmgen {
 namespace {
@@ -114,6 +116,55 @@ TEST(Flow, RefinementAblationRaisesMre) {
   const double with_refine = run(true);
   const double without_refine = run(false);
   EXPECT_LT(with_refine, without_refine);
+}
+
+/// Determinism contract of FlowConfig::num_threads: a multi-threaded
+/// build must produce a combined PSM identical to the sequential one —
+/// same states with the same <mu, sigma, n> attributes, same transitions,
+/// same initial set — on a real multi-trace characterization (MultSum,
+/// 4 training traces).
+TEST(Flow, ParallelBuildIsIdenticalToSequential) {
+  auto run = [](unsigned threads) {
+    auto device = ip::makeDevice(ip::IpKind::MultSum);
+    power::GateLevelEstimator est(*device,
+                                  ip::powerConfig(ip::IpKind::MultSum));
+    core::FlowConfig cfg;
+    cfg.num_threads = threads;
+    core::CharacterizationFlow flow(cfg);
+    for (const auto& spec : ip::shortTSPlan(ip::IpKind::MultSum)) {
+      auto tb =
+          ip::makeTestbench(ip::IpKind::MultSum, ip::TestsetMode::Short,
+                            spec.seed);
+      auto pair = est.run(*tb, 1500);  // reduced scale to keep the test fast
+      flow.addTrainingTrace(std::move(pair.functional),
+                            std::move(pair.power));
+    }
+    const core::BuildReport report = flow.build();
+    return std::make_pair(flow.psm(), report);
+  };
+  const auto [seq_psm, seq_report] = run(1);
+  const auto [par_psm, par_report] = run(4);
+
+  ASSERT_EQ(par_psm.stateCount(), seq_psm.stateCount());
+  ASSERT_EQ(par_psm.transitionCount(), seq_psm.transitionCount());
+  ASSERT_EQ(par_psm.initialStates(), seq_psm.initialStates());
+  for (std::size_t s = 0; s < seq_psm.stateCount(); ++s) {
+    const auto& a = seq_psm.state(static_cast<core::StateId>(s));
+    const auto& b = par_psm.state(static_cast<core::StateId>(s));
+    EXPECT_EQ(b.power.mean, a.power.mean) << "state " << s;
+    EXPECT_EQ(b.power.stddev, a.power.stddev) << "state " << s;
+    EXPECT_EQ(b.power.n, a.power.n) << "state " << s;
+    EXPECT_EQ(b.assertion, a.assertion) << "state " << s;
+  }
+  // Full structural equality (includes intervals, regressions,
+  // transition multiplicities).
+  EXPECT_TRUE(par_psm == seq_psm);
+
+  EXPECT_EQ(par_report.atoms, seq_report.atoms);
+  EXPECT_EQ(par_report.propositions, seq_report.propositions);
+  EXPECT_EQ(par_report.raw_states, seq_report.raw_states);
+  EXPECT_EQ(par_report.simplified_pairs, seq_report.simplified_pairs);
+  EXPECT_EQ(par_report.refined_states, seq_report.refined_states);
 }
 
 TEST(Flow, RejectsMismatchedTraces) {

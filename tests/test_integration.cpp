@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "core/flow.hpp"
 #include "ip/ip_factory.hpp"
 #include "power/gate_estimator.hpp"
