@@ -1,0 +1,93 @@
+// Serving-path benchmark for the train-once / serve-many split: artifact
+// cold-load time and streaming prediction throughput on the paper's four
+// IPs (no analogue in the paper's tables, hence "Table IV" — the paper
+// evaluates the fused generate+estimate flow only).
+//
+// For each IP, a PSM is trained on short-TS and saved as a .psm artifact;
+// the evaluation trace is written out as CSV. The measured quantities are
+// (a) cold-load: loadPsmModel wall time, including the HMM integrity
+// re-derivation, and (b) streaming throughput: rows/second through
+// StreamingTraceReader + OnlinePredictor with the default chunk size.
+// Results are emitted as JSON on stdout (one object per IP) so they can
+// be tracked across commits; --cycles N overrides the eval length.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "runtime/online_predictor.hpp"
+#include "runtime/streaming_reader.hpp"
+#include "serialize/psm_artifact.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+double seconds(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::size_t fileBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  return is ? static_cast<std::size_t>(is.tellg()) : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psmgen;
+  const std::size_t cycles = bench::cyclesArg(argc, argv, 200000);
+  const std::string dir = "/tmp";
+
+  std::printf("[\n");
+  bool first = true;
+  for (const ip::IpKind kind : ip::kAllIps) {
+    const bench::FlowRun run =
+        bench::trainFlow(kind, ip::TestsetMode::Short, ip::shortTSPlan(kind));
+    const std::string model_path =
+        dir + "/psmgen_bench_" + ip::ipName(kind) + ".psm";
+    const std::string trace_path =
+        dir + "/psmgen_bench_" + ip::ipName(kind) + "_eval.csv";
+    serialize::savePsmModel(model_path, run.flow->psm(), run.flow->domain());
+
+    auto device = ip::makeDevice(kind);
+    power::GateLevelEstimator estimator(*device, ip::powerConfig(kind));
+    auto tb = ip::makeTestbench(kind, ip::TestsetMode::Long, 0x715EED);
+    auto pair = estimator.run(*tb, cycles);
+    trace::saveFunctionalTrace(trace_path, pair.functional);
+
+    // Cold load: averaged over a few runs, the artifact is tiny and the
+    // timer granularity would otherwise dominate.
+    const int kLoads = 10;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kLoads; ++i) {
+      const serialize::PsmModel m = serialize::loadPsmModel(model_path);
+      (void)m;
+    }
+    const double load_s = seconds(t0) / kLoads;
+
+    const serialize::PsmModel model = serialize::loadPsmModel(model_path);
+    runtime::StreamingTraceReader reader(trace_path, {4096});
+    runtime::OnlinePredictor predictor(model);
+    const auto t1 = std::chrono::steady_clock::now();
+    const runtime::PredictorStats stats = predictor.predictStream(reader);
+    const double stream_s = seconds(t1);
+
+    std::printf("%s  {\"ip\": \"%s\", \"states\": %zu, \"model_bytes\": %zu,\n"
+                "   \"cold_load_ms\": %.3f, \"rows\": %zu,\n"
+                "   \"stream_seconds\": %.4f, \"rows_per_second\": %.0f,\n"
+                "   \"predict_rows_per_second\": %.0f,\n"
+                "   \"wsp_percent\": %.2f, \"peak_buffered_rows\": %zu}",
+                first ? "" : ",\n", ip::ipName(kind).c_str(),
+                model.psm.stateCount(), fileBytes(model_path),
+                1e3 * load_s, stats.rows, stream_s,
+                stream_s > 0.0 ? stats.rows / stream_s : 0.0,
+                stats.rowsPerSecond(), stats.wspPercent(),
+                reader.peakBufferedRows());
+    first = false;
+  }
+  std::printf("\n]\n");
+  return 0;
+}

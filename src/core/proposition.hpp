@@ -92,6 +92,11 @@ class PropositionDomain {
   /// Short name like "p12" used in DOT export and generated code.
   std::string shortName(PropId id) const;
 
+  /// Exact equality (variables, atoms, and interned signatures in id
+  /// order); the round-trip contract of serialize::PsmModel is stated in
+  /// terms of this comparison.
+  bool operator==(const PropositionDomain&) const = default;
+
  private:
   trace::VariableSet vars_;
   std::vector<AtomicProposition> atoms_;

@@ -1,0 +1,68 @@
+#include "runtime/online_predictor.hpp"
+
+#include <chrono>
+
+namespace psmgen::runtime {
+
+OnlinePredictor::OnlinePredictor(const core::Psm& psm,
+                                 const core::PropositionDomain& domain,
+                                 core::SimOptions options)
+    : sim_(psm, domain, options) {
+  session_ = sim_.startSession();
+}
+
+OnlinePredictor::OnlinePredictor(const serialize::PsmModel& model,
+                                 core::SimOptions options)
+    : OnlinePredictor(model.psm, model.domain, options) {}
+
+void OnlinePredictor::reset() {
+  session_ = sim_.startSession();
+  stats_ = PredictorStats{};
+  ever_synced_ = false;
+}
+
+double OnlinePredictor::predictRow(const std::vector<common::BitVector>& row) {
+  const bool was_lost = session_->isLost();
+  const auto t0 = std::chrono::steady_clock::now();
+  const double estimate = session_->step(row);
+  stats_.seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ++stats_.rows;
+  if (!session_->isLost()) {
+    if (was_lost && ever_synced_) ++stats_.resyncs;
+    ever_synced_ = true;
+  }
+  stats_.predictions = session_->predictions();
+  stats_.wrong_predictions = session_->wrongPredictions();
+  stats_.unexpected_behaviours = session_->unexpectedBehaviours();
+  stats_.lost_instants = session_->lostInstants();
+  return estimate;
+}
+
+PredictorStats OnlinePredictor::predictStream(
+    StreamingTraceReader& reader,
+    const std::function<void(std::size_t, double)>& sink) {
+  reset();
+  std::vector<common::BitVector> row;
+  std::size_t index = 0;
+  while (reader.next(row)) {
+    const double estimate = predictRow(row);
+    if (sink) sink(index, estimate);
+    ++index;
+  }
+  return stats_;
+}
+
+std::vector<double> OnlinePredictor::predictTrace(
+    const trace::FunctionalTrace& trace) {
+  reset();
+  std::vector<double> out;
+  out.reserve(trace.length());
+  for (std::size_t t = 0; t < trace.length(); ++t) {
+    out.push_back(predictRow(trace.step(t)));
+  }
+  return out;
+}
+
+}  // namespace psmgen::runtime

@@ -1,0 +1,98 @@
+#pragma once
+// Row-at-a-time power prediction over a trained PSM model.
+//
+// The serving half of the train/serve split: a model loaded from a PSM
+// artifact (serialize::PsmModel) is wrapped once into an HMM-backed
+// simulator, then any number of streams are predicted against it — each
+// stream is one PsmSimulator::Session (forward filter, non-deterministic
+// choice resolution, revert-and-penalize resynchronization), driven one
+// row at a time so memory stays constant however long the stream runs.
+//
+// Per-stream counters (rows, HMM-resolved predictions, resyncs, wall
+// time inside the predictor) support the production monitoring story;
+// predictStream() couples the predictor to a StreamingTraceReader for
+// the bounded-memory batch path. Per-row estimates are identical to
+// PsmSimulator::simulate on the same rows — streaming changes memory
+// behaviour, never results.
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/psm_simulator.hpp"
+#include "runtime/streaming_reader.hpp"
+#include "serialize/psm_artifact.hpp"
+#include "trace/functional_trace.hpp"
+
+namespace psmgen::runtime {
+
+/// Counters of one prediction stream (since construction or reset()).
+struct PredictorStats {
+  std::size_t rows = 0;
+  /// Non-deterministic decisions the HMM filter resolved.
+  std::size_t predictions = 0;
+  /// Predictions proven wrong (revert + penalize + re-route).
+  std::size_t wrong_predictions = 0;
+  /// Assertion failures with no alternative path in the model.
+  std::size_t unexpected_behaviours = 0;
+  /// Instants spent desynchronized from the model.
+  std::size_t lost_instants = 0;
+  /// Recoveries from a desynchronized stretch (lost -> synced, after the
+  /// stream had synchronized at least once).
+  std::size_t resyncs = 0;
+  /// Wall time spent inside predictRow().
+  double seconds = 0.0;
+
+  double rowsPerSecond() const {
+    return seconds > 0.0 ? static_cast<double>(rows) / seconds : 0.0;
+  }
+  double wspPercent() const {
+    return predictions == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(wrong_predictions) /
+                     static_cast<double>(predictions);
+  }
+};
+
+class OnlinePredictor {
+ public:
+  /// Serves the given PSM/domain; both must outlive the predictor.
+  OnlinePredictor(const core::Psm& psm, const core::PropositionDomain& domain,
+                  core::SimOptions options = {});
+  /// Serves a loaded model; the model must outlive the predictor.
+  explicit OnlinePredictor(const serialize::PsmModel& model,
+                           core::SimOptions options = {});
+
+  /// Predicts the power of the next instant of the current stream. The
+  /// row holds one value per trace variable, in variable-set order.
+  double predictRow(const std::vector<common::BitVector>& row);
+
+  /// Ends the current stream and starts a fresh one (fresh HMM session,
+  /// zeroed counters).
+  void reset();
+
+  const PredictorStats& stats() const { return stats_; }
+  const core::PsmSimulator& simulator() const { return sim_; }
+
+  /// Streams every row of `reader` through a fresh stream; `sink` (may be
+  /// empty) receives (row index, estimate) as rows are consumed — nothing
+  /// is accumulated, so memory stays bounded by the reader's chunk size.
+  /// Returns the stream's final counters.
+  PredictorStats predictStream(
+      StreamingTraceReader& reader,
+      const std::function<void(std::size_t, double)>& sink = {});
+
+  /// In-memory batch convenience: predicts a whole trace on a fresh
+  /// stream and returns the per-instant estimates (identical to
+  /// PsmSimulator::simulate(trace).estimate).
+  std::vector<double> predictTrace(const trace::FunctionalTrace& trace);
+
+ private:
+  core::PsmSimulator sim_;
+  std::optional<core::PsmSimulator::Session> session_;
+  PredictorStats stats_;
+  bool ever_synced_ = false;
+};
+
+}  // namespace psmgen::runtime

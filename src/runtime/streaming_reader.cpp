@@ -1,0 +1,81 @@
+#include "runtime/streaming_reader.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+#include "trace/trace_io.hpp"
+
+namespace psmgen::runtime {
+
+StreamingTraceReader::StreamingTraceReader(std::istream& is)
+    : StreamingTraceReader(is, Options{}) {}
+
+StreamingTraceReader::StreamingTraceReader(std::istream& is, Options options)
+    : is_(&is), options_(options) {
+  readPreamble();
+}
+
+StreamingTraceReader::StreamingTraceReader(const std::string& path)
+    : StreamingTraceReader(path, Options{}) {}
+
+StreamingTraceReader::StreamingTraceReader(const std::string& path,
+                                           Options options)
+    : owned_(std::make_unique<std::ifstream>(path)), is_(owned_.get()),
+      options_(options) {
+  if (!*is_) {
+    throw std::runtime_error("StreamingTraceReader: cannot open " + path);
+  }
+  readPreamble();
+}
+
+void StreamingTraceReader::readPreamble() {
+  if (options_.chunk_rows == 0) {
+    throw std::invalid_argument("StreamingTraceReader: chunk_rows must be > 0");
+  }
+  std::string line;
+  if (!std::getline(*is_, line) ||
+      common::trim(line) != trace::functionalTraceHeader()) {
+    throw std::runtime_error("trace_io: missing functional trace header");
+  }
+  ++line_no_;
+  if (!std::getline(*is_, line)) {
+    throw std::runtime_error(
+        "trace_io: truncated trace: missing variable declaration line");
+  }
+  ++line_no_;
+  vars_ = trace::parseVariableDeclaration(line, line_no_);
+  buffer_.reserve(options_.chunk_rows);
+}
+
+void StreamingTraceReader::refill() {
+  buffer_.clear();
+  buffer_pos_ = 0;
+  std::string line;
+  while (buffer_.size() < options_.chunk_rows && std::getline(*is_, line)) {
+    ++line_no_;
+    const std::string t = common::trim(line);
+    if (t.empty()) continue;
+    buffer_.push_back(trace::parseFunctionalRow(t, vars_, line_no_));
+  }
+  if (buffer_.empty()) {
+    exhausted_ = true;
+    return;
+  }
+  ++refills_;
+  peak_ = std::max(peak_, buffer_.size());
+}
+
+bool StreamingTraceReader::next(std::vector<common::BitVector>& row) {
+  if (buffer_pos_ == buffer_.size()) {
+    if (exhausted_) return false;
+    refill();
+    if (exhausted_) return false;
+  }
+  row = std::move(buffer_[buffer_pos_++]);
+  ++rows_;
+  return true;
+}
+
+}  // namespace psmgen::runtime

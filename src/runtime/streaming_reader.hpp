@@ -1,0 +1,74 @@
+#pragma once
+// Bounded-memory iteration over functional-trace CSV files.
+//
+// trace::loadFunctionalTrace materializes the whole trace — fine for
+// training, wrong for serving, where evaluation traces can be orders of
+// magnitude longer than RAM. StreamingTraceReader parses the same CSV
+// format (trace/trace_io.hpp) row by row: at most `chunk_rows` parsed
+// rows are resident at any instant, regardless of trace length. The
+// reader refills its buffer from the stream when it drains, so the
+// consumer sees a simple next() iterator while I/O happens in chunks.
+//
+// peakBufferedRows() exposes the high-water mark of resident rows; the
+// bounded-memory contract (peak <= chunk_rows) is enforced by tests that
+// stream traces much larger than one chunk.
+
+#include <cstddef>
+#include <istream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "trace/variable.hpp"
+
+namespace psmgen::runtime {
+
+class StreamingTraceReader {
+ public:
+  struct Options {
+    /// Rows parsed per refill; the memory bound of the reader.
+    std::size_t chunk_rows = 4096;
+  };
+
+  /// Reads from an externally owned stream (header + variable declaration
+  /// are consumed immediately; throws std::runtime_error if malformed).
+  explicit StreamingTraceReader(std::istream& is);
+  StreamingTraceReader(std::istream& is, Options options);
+
+  /// Opens `path`; throws std::runtime_error if unreadable.
+  explicit StreamingTraceReader(const std::string& path);
+  StreamingTraceReader(const std::string& path, Options options);
+
+  const trace::VariableSet& variables() const { return vars_; }
+
+  /// Moves the next row into `row`; returns false at end of stream. Parse
+  /// errors carry the 1-based line number of the offending row.
+  bool next(std::vector<common::BitVector>& row);
+
+  /// Rows handed out through next() so far.
+  std::size_t rowsDelivered() const { return rows_; }
+  /// Buffer refills performed (chunked I/O round trips).
+  std::size_t refills() const { return refills_; }
+  /// High-water mark of rows resident in the buffer; never exceeds
+  /// Options::chunk_rows.
+  std::size_t peakBufferedRows() const { return peak_; }
+
+ private:
+  void readPreamble();
+  void refill();
+
+  std::unique_ptr<std::istream> owned_;
+  std::istream* is_;
+  Options options_;
+  trace::VariableSet vars_;
+  std::vector<std::vector<common::BitVector>> buffer_;
+  std::size_t buffer_pos_ = 0;
+  std::size_t line_no_ = 0;
+  std::size_t rows_ = 0;
+  std::size_t refills_ = 0;
+  std::size_t peak_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace psmgen::runtime

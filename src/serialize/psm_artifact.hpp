@@ -1,0 +1,78 @@
+#pragma once
+// Versioned on-disk artifact for a trained PSM ("train once, serve many").
+//
+// A characterization run (mining, PSM generation, simplify/join, regression
+// refinement) is expensive; the resulting model is small. This module
+// persists everything a loaded PSM needs to evaluate fresh functional
+// traces without the training data:
+//   - the shared proposition domain: variable set, mined atoms, and the
+//     interned truth signatures (PropIds are positional, so fresh rows map
+//     to the same proposition identities as during training),
+//   - the combined PSM: states with their temporal assertions, power
+//     attributes <mu, sigma, n, range>, source intervals, optional
+//     linear-regression output functions, transition structure with
+//     multiplicities, and the initial-state multiset,
+//   - the derived HMM parameters <A, B, pi, events>, stored redundantly
+//     and re-derived on load as an integrity check (a mismatch means the
+//     artifact was corrupted or produced by an incompatible build).
+//
+// Binary layout (all integers little-endian):
+//   magic   8 bytes  "PSMMODEL"
+//   version u32      kFormatVersion
+//   length  u64      payload byte count
+//   payload length bytes (domain, psm, hmm sections)
+//   hash    u64      FNV-1a of the payload bytes
+//
+// Serialization is deterministic: saving a loaded model reproduces the
+// input byte for byte (the round-trip identity the tests enforce).
+// Malformed input — wrong magic, unsupported version, truncation at any
+// offset, checksum mismatch, or semantically invalid content (dangling
+// ids, signature/atom arity mismatch, out-of-range enum bytes) — raises
+// FormatError with a descriptive message.
+//
+// Versioning policy: kFormatVersion bumps on any layout change; readers
+// reject versions they do not know (no silent best-effort parsing). Older
+// readers fail fast on newer artifacts and vice versa; migration happens
+// by re-training, never by in-place mutation.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/proposition.hpp"
+#include "core/psm.hpp"
+
+namespace psmgen::serialize {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Raised on any malformed, truncated, or version-mismatched artifact.
+class FormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A loaded model: the proposition domain plus the PSM defined over it.
+/// Everything PsmSimulator / runtime::OnlinePredictor need to evaluate
+/// fresh traces.
+struct PsmModel {
+  core::PropositionDomain domain;
+  core::Psm psm;
+};
+
+/// FNV-1a over a byte range (the artifact checksum; exposed for tests).
+std::uint64_t fnv1a(const void* data, std::size_t size);
+
+void writePsmModel(std::ostream& os, const core::Psm& psm,
+                   const core::PropositionDomain& domain);
+PsmModel readPsmModel(std::istream& is);
+
+/// File-path wrappers (binary mode); throw FormatError on parse errors
+/// and std::runtime_error on plain I/O failure.
+void savePsmModel(const std::string& path, const core::Psm& psm,
+                  const core::PropositionDomain& domain);
+PsmModel loadPsmModel(const std::string& path);
+
+}  // namespace psmgen::serialize

@@ -1,22 +1,25 @@
 // psmgen — command-line front end for the characterization flow.
 //
 // Usage:
-//   psmgen generate --func a.csv --power a.pw [--func b.csv --power b.pw ...]
+//   psmgen train    --func F.csv --power F.pw [...] --out model.psm
+//   psmgen predict  --psm model.psm --eval E.csv [--ref E.pw] [--chunk N]
+//   psmgen generate --func F.csv --power F.pw [...]
 //                   [--dot out.dot] [--systemc out.cpp] [--plain]
 //   psmgen estimate --func train.csv --power train.pw [...]
 //                   --eval eval.csv [--ref eval.pw]
 //   psmgen demo <ram|multsum|aes|camellia>
 //
-// `generate` trains PSMs from functional/power trace pairs (formats in
-// trace/trace_io.hpp) and emits a summary plus optional Graphviz / SystemC
-// artifacts. `estimate` additionally simulates the PSMs on an evaluation
-// trace, printing the per-instant power estimate to stdout as CSV and the
-// MRE when a reference is given. `demo` runs the built-in characterization
-// of one of the paper's benchmark IPs end to end.
+// `train` runs the characterization once and writes a versioned PSM model
+// artifact; `predict` loads the artifact and streams an evaluation trace
+// through the online predictor in bounded memory — together they split
+// the fused `estimate` into a train-once / serve-many workflow with
+// identical per-instant estimates. `generate` and `estimate` keep the
+// single-shot behaviour; `demo` characterizes one of the paper's
+// benchmark IPs end to end.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -27,6 +30,9 @@
 #include "core/flow.hpp"
 #include "ip/ip_factory.hpp"
 #include "power/gate_estimator.hpp"
+#include "runtime/online_predictor.hpp"
+#include "runtime/streaming_reader.hpp"
+#include "serialize/psm_artifact.hpp"
 #include "trace/trace_io.hpp"
 
 namespace {
@@ -34,72 +40,113 @@ namespace {
 using namespace psmgen;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  psmgen generate --func F.csv --power F.pw [...] "
-               "[--dot out.dot] [--systemc out.cpp] [--plain] [--threads N]\n"
-               "  psmgen estimate --func F.csv --power F.pw [...] "
-               "--eval E.csv [--ref E.pw] [--threads N]\n"
-               "  psmgen demo <ram|multsum|aes|camellia> [--threads N]\n"
-               "\n"
-               "  --threads N   characterization threads "
-               "(0 = all hardware threads [default], 1 = sequential)\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  psmgen train    --func F.csv --power F.pw [...] --out model.psm "
+      "[--dot out.dot] [--systemc out.cpp] [--plain] [--threads N]\n"
+      "  psmgen predict  --psm model.psm --eval E.csv [--ref E.pw] "
+      "[--chunk N]\n"
+      "  psmgen generate --func F.csv --power F.pw [...] "
+      "[--dot out.dot] [--systemc out.cpp] [--plain] [--threads N]\n"
+      "  psmgen estimate --func F.csv --power F.pw [...] "
+      "--eval E.csv [--ref E.pw] [--threads N]\n"
+      "  psmgen demo <ram|multsum|aes|camellia> [--threads N]\n"
+      "\n"
+      "  --threads N   characterization threads "
+      "(0 = all hardware threads [default], 1 = sequential)\n"
+      "  --chunk N     rows buffered by the streaming predictor "
+      "(default 4096)\n");
   return 2;
 }
 
 struct Args {
+  std::vector<std::string> positional;
   std::vector<std::string> func;
   std::vector<std::string> power;
   std::string eval;
   std::string ref;
   std::string dot;
   std::string systemc;
+  std::string out;
+  std::string psm;
   bool plain = false;
   unsigned threads = 0;
+  std::size_t chunk = 4096;
 };
 
+/// Parses everything after the subcommand. Exactly one pass: every flag
+/// is handled here, and an unknown flag is a hard error (exit non-zero
+/// via usage()), never silently ignored.
 bool parse(int argc, char** argv, Args& args) {
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (flag == "--func") {
+    auto value = [&](std::string& into) {
       const char* v = next();
-      if (!v) return false;
+      if (!v) {
+        std::fprintf(stderr, "psmgen: %s expects a value\n", flag.c_str());
+        return false;
+      }
+      into = v;
+      return true;
+    };
+    if (flag == "--func") {
+      std::string v;
+      if (!value(v)) return false;
       args.func.push_back(v);
     } else if (flag == "--power") {
-      const char* v = next();
-      if (!v) return false;
+      std::string v;
+      if (!value(v)) return false;
       args.power.push_back(v);
     } else if (flag == "--eval") {
-      const char* v = next();
-      if (!v) return false;
-      args.eval = v;
+      if (!value(args.eval)) return false;
     } else if (flag == "--ref") {
-      const char* v = next();
-      if (!v) return false;
-      args.ref = v;
+      if (!value(args.ref)) return false;
     } else if (flag == "--dot") {
-      const char* v = next();
-      if (!v) return false;
-      args.dot = v;
+      if (!value(args.dot)) return false;
     } else if (flag == "--systemc") {
-      const char* v = next();
-      if (!v) return false;
-      args.systemc = v;
+      if (!value(args.systemc)) return false;
+    } else if (flag == "--out") {
+      if (!value(args.out)) return false;
+    } else if (flag == "--psm") {
+      if (!value(args.psm)) return false;
     } else if (flag == "--plain") {
       args.plain = true;
     } else if (flag == "--threads") {
-      const char* v = next();
-      if (!v) return false;
-      args.threads = static_cast<unsigned>(std::atoi(v));
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      std::string v;
+      if (!value(v)) return false;
+      args.threads = static_cast<unsigned>(std::atoi(v.c_str()));
+    } else if (flag == "--chunk") {
+      std::string v;
+      if (!value(v)) return false;
+      const long n = std::atol(v.c_str());
+      if (n <= 0) {
+        std::fprintf(stderr, "psmgen: --chunk expects a positive row count\n");
+        return false;
+      }
+      args.chunk = static_cast<std::size_t>(n);
+    } else if (!flag.empty() && flag.front() == '-') {
+      std::fprintf(stderr, "psmgen: unknown flag: %s\n", flag.c_str());
       return false;
+    } else {
+      args.positional.push_back(flag);
     }
   }
-  return !args.func.empty() && args.func.size() == args.power.size();
+  return true;
+}
+
+bool requireTrainingPairs(const Args& args) {
+  if (args.func.empty() || args.func.size() != args.power.size()) {
+    std::fprintf(stderr,
+                 "psmgen: need at least one --func/--power pair (got %zu "
+                 "functional, %zu power)\n",
+                 args.func.size(), args.power.size());
+    return false;
+  }
+  return true;
 }
 
 void summarize(const core::CharacterizationFlow& flow,
@@ -133,7 +180,7 @@ void writeArtifacts(const core::CharacterizationFlow& flow, const Args& args) {
   }
 }
 
-int runGenerate(const Args& args, bool estimate) {
+core::CharacterizationFlow trainFlow(const Args& args) {
   core::FlowConfig config;
   config.num_threads = args.threads;
   core::CharacterizationFlow flow(config);
@@ -141,6 +188,11 @@ int runGenerate(const Args& args, bool estimate) {
     flow.addTrainingTrace(trace::loadFunctionalTrace(args.func[i]),
                           trace::loadPowerTrace(args.power[i]));
   }
+  return flow;
+}
+
+int runGenerate(const Args& args, bool estimate) {
+  core::CharacterizationFlow flow = trainFlow(args);
   const core::BuildReport report = flow.build();
   summarize(flow, report);
   writeArtifacts(flow, args);
@@ -168,6 +220,62 @@ int runGenerate(const Args& args, bool estimate) {
   return 0;
 }
 
+int runTrain(const Args& args) {
+  core::CharacterizationFlow flow = trainFlow(args);
+  const core::BuildReport report = flow.build();
+  summarize(flow, report);
+  writeArtifacts(flow, args);
+  serialize::savePsmModel(args.out, flow.psm(), flow.domain());
+  std::fprintf(stderr,
+               "psmgen: wrote model %s (%zu states, %zu transitions, "
+               "%zu propositions)\n",
+               args.out.c_str(), flow.psm().stateCount(),
+               flow.psm().transitionCount(), flow.domain().size());
+  return 0;
+}
+
+int runPredict(const Args& args) {
+  const serialize::PsmModel model = serialize::loadPsmModel(args.psm);
+  std::fprintf(stderr,
+               "psmgen: loaded %s (%zu states, %zu transitions, "
+               "%zu propositions)\n",
+               args.psm.c_str(), model.psm.stateCount(),
+               model.psm.transitionCount(), model.domain.size());
+
+  // Reference samples are compared online so nothing scales with the
+  // evaluation trace: the estimate is printed and folded into the MRE
+  // accumulator as each row leaves the streaming reader.
+  std::vector<double> ref;
+  if (!args.ref.empty()) {
+    ref = trace::loadPowerTrace(args.ref).samples();
+  }
+  double mre_sum = 0.0;
+  std::size_t mre_n = 0;
+
+  runtime::StreamingTraceReader reader(args.eval, {args.chunk});
+  runtime::OnlinePredictor predictor(model);
+  std::printf("instant,power_w\n");
+  const runtime::PredictorStats stats = predictor.predictStream(
+      reader, [&](std::size_t t, double estimate) {
+        std::printf("%zu,%.9e\n", t, estimate);
+        if (t < ref.size() && ref[t] != 0.0) {
+          mre_sum += std::abs(estimate - ref[t]) / ref[t];
+          ++mre_n;
+        }
+      });
+  std::fprintf(stderr,
+               "psmgen: %zu instants, WSP %.2f %%, %zu unexpected, %zu lost, "
+               "%zu resyncs, %.0f rows/s (%zu-row chunks, peak buffer %zu)\n",
+               stats.rows, stats.wspPercent(), stats.unexpected_behaviours,
+               stats.lost_instants, stats.resyncs, stats.rowsPerSecond(),
+               args.chunk, reader.peakBufferedRows());
+  if (!args.ref.empty() && mre_n > 0) {
+    std::fprintf(stderr, "psmgen: MRE vs reference = %.2f %%\n",
+                 100.0 * mre_sum / static_cast<double>(mre_n));
+  }
+  return 0;
+}
+
 int runDemo(const std::string& name, unsigned threads) {
   ip::IpKind kind;
   if (name == "ram") {
@@ -179,6 +287,7 @@ int runDemo(const std::string& name, unsigned threads) {
   } else if (name == "camellia") {
     kind = ip::IpKind::Camellia;
   } else {
+    std::fprintf(stderr, "psmgen: unknown demo IP: %s\n", name.c_str());
     return usage();
   }
   auto device = ip::makeDevice(kind);
@@ -207,22 +316,35 @@ int runDemo(const std::string& name, unsigned threads) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  Args args;
+  if (!parse(argc, argv, args)) return usage();
   try {
-    if (cmd == "demo" && argc >= 3) {
-      unsigned threads = 0;
-      for (int i = 3; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--threads") == 0) {
-          threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
-        }
-      }
-      return runDemo(argv[2], threads);
+    if (cmd == "demo") {
+      if (args.positional.size() != 1) return usage();
+      return runDemo(args.positional.front(), args.threads);
     }
-    Args args;
-    if (!parse(argc, argv, args)) return usage();
-    if (cmd == "generate") return runGenerate(args, /*estimate=*/false);
-    if (cmd == "estimate" && !args.eval.empty()) {
+    if (!args.positional.empty()) {
+      std::fprintf(stderr, "psmgen: unexpected argument: %s\n",
+                   args.positional.front().c_str());
+      return usage();
+    }
+    if (cmd == "generate") {
+      if (!requireTrainingPairs(args)) return usage();
+      return runGenerate(args, /*estimate=*/false);
+    }
+    if (cmd == "estimate") {
+      if (!requireTrainingPairs(args) || args.eval.empty()) return usage();
       return runGenerate(args, /*estimate=*/true);
     }
+    if (cmd == "train") {
+      if (!requireTrainingPairs(args) || args.out.empty()) return usage();
+      return runTrain(args);
+    }
+    if (cmd == "predict") {
+      if (args.psm.empty() || args.eval.empty()) return usage();
+      return runPredict(args);
+    }
+    std::fprintf(stderr, "psmgen: unknown command: %s\n", cmd.c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "psmgen: error: %s\n", e.what());
     return 1;

@@ -9,19 +9,85 @@
 namespace psmgen::trace {
 
 namespace {
-constexpr const char* kFunctionalHeader = "# psmgen functional trace v1";
-constexpr const char* kPowerHeader = "# psmgen power trace v1";
+const std::string kFunctionalHeader = "# psmgen functional trace v1";
+const std::string kPowerHeader = "# psmgen power trace v1";
 
-VarKind parseKind(const std::string& s) {
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("trace_io: line " + std::to_string(line_no) + ": " +
+                           what);
+}
+
+VarKind parseKind(const std::string& s, std::size_t line_no) {
   if (s == "in") return VarKind::Input;
   if (s == "out") return VarKind::Output;
-  throw std::runtime_error("trace_io: bad variable kind: " + s);
+  fail(line_no, "bad variable kind: " + s);
 }
 
 std::string kindName(VarKind k) {
   return k == VarKind::Input ? "in" : "out";
 }
+
+double parseDouble(const std::string& s, std::size_t line_no,
+                   const std::string& what) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(s, &consumed);
+    if (consumed != s.size()) fail(line_no, "bad " + what + ": " + s);
+    return v;
+  } catch (const std::logic_error&) {
+    fail(line_no, "bad " + what + ": " + s);
+  }
+}
 }  // namespace
+
+const std::string& functionalTraceHeader() { return kFunctionalHeader; }
+const std::string& powerTraceHeader() { return kPowerHeader; }
+
+VariableSet parseVariableDeclaration(const std::string& line,
+                                     std::size_t line_no) {
+  VariableSet vars;
+  for (const auto& col : common::split(common::trim(line), ',')) {
+    const auto fields = common::split(col, ':');
+    if (fields.size() != 3) {
+      fail(line_no, "bad variable declaration: " + col);
+    }
+    unsigned width = 0;
+    try {
+      std::size_t consumed = 0;
+      width = static_cast<unsigned>(std::stoul(fields[2], &consumed));
+      if (consumed != fields[2].size() || width == 0) throw std::range_error("");
+    } catch (const std::logic_error&) {
+      fail(line_no, "bad variable width: " + col);
+    }
+    try {
+      vars.add(fields[0], width, parseKind(fields[1], line_no));
+    } catch (const std::invalid_argument& e) {
+      fail(line_no, e.what());
+    }
+  }
+  return vars;
+}
+
+std::vector<common::BitVector> parseFunctionalRow(const std::string& line,
+                                                  const VariableSet& vars,
+                                                  std::size_t line_no) {
+  const auto cells = common::split(line, ',');
+  if (cells.size() != vars.size()) {
+    fail(line_no, "row arity mismatch (got " + std::to_string(cells.size()) +
+                      " cells, expected " + std::to_string(vars.size()) + ")");
+  }
+  std::vector<common::BitVector> row;
+  row.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    try {
+      row.push_back(common::BitVector::fromHex(cells[i], vars[i].width));
+    } catch (const std::exception& e) {
+      fail(line_no, "bad value for variable '" + vars[i].name +
+                        "': " + e.what());
+    }
+  }
+  return row;
+}
 
 void writeFunctionalTrace(std::ostream& os, const FunctionalTrace& trace) {
   os << kFunctionalHeader << "\n";
@@ -44,31 +110,16 @@ FunctionalTrace readFunctionalTrace(std::istream& is) {
     throw std::runtime_error("trace_io: missing functional trace header");
   }
   if (!std::getline(is, line)) {
-    throw std::runtime_error("trace_io: missing variable declaration line");
+    throw std::runtime_error(
+        "trace_io: truncated trace: missing variable declaration line");
   }
-  VariableSet vars;
-  for (const auto& col : common::split(common::trim(line), ',')) {
-    const auto fields = common::split(col, ':');
-    if (fields.size() != 3) {
-      throw std::runtime_error("trace_io: bad variable declaration: " + col);
-    }
-    vars.add(fields[0], static_cast<unsigned>(std::stoul(fields[2])),
-             parseKind(fields[1]));
-  }
-  FunctionalTrace trace(vars);
+  FunctionalTrace trace(parseVariableDeclaration(line, 2));
+  std::size_t line_no = 2;
   while (std::getline(is, line)) {
+    ++line_no;
     const std::string t = common::trim(line);
     if (t.empty()) continue;
-    const auto cells = common::split(t, ',');
-    if (cells.size() != vars.size()) {
-      throw std::runtime_error("trace_io: row arity mismatch");
-    }
-    std::vector<common::BitVector> row;
-    row.reserve(cells.size());
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      row.push_back(common::BitVector::fromHex(cells[i], vars[i].width));
-    }
-    trace.append(std::move(row));
+    trace.append(parseFunctionalRow(t, trace.variables(), line_no));
   }
   return trace;
 }
@@ -87,21 +138,25 @@ PowerTrace readPowerTrace(std::istream& is) {
     throw std::runtime_error("trace_io: missing power trace header");
   }
   if (!std::getline(is, line)) {
-    throw std::runtime_error("trace_io: missing power parameter line");
+    throw std::runtime_error(
+        "trace_io: truncated trace: missing power parameter line");
   }
   const auto fields = common::split(common::trim(line), ',');
   if (fields.size() != 3) {
-    throw std::runtime_error("trace_io: bad power parameter line");
+    fail(2, "bad power parameter line (got " + std::to_string(fields.size()) +
+                " fields, expected 3)");
   }
   PowerParams params;
-  params.vdd = std::stod(fields[0]);
-  params.clock_hz = std::stod(fields[1]);
-  params.cap_per_bit = std::stod(fields[2]);
+  params.vdd = parseDouble(fields[0], 2, "vdd");
+  params.clock_hz = parseDouble(fields[1], 2, "clock frequency");
+  params.cap_per_bit = parseDouble(fields[2], 2, "capacitance");
   PowerTrace trace(params);
+  std::size_t line_no = 2;
   while (std::getline(is, line)) {
+    ++line_no;
     const std::string t = common::trim(line);
     if (t.empty()) continue;
-    trace.append(std::stod(t));
+    trace.append(parseDouble(t, line_no, "power sample"));
   }
   return trace;
 }

@@ -10,14 +10,39 @@
 //   # psmgen power trace v1
 //   vdd,clock_hz,cap_per_bit
 //   <sample>                   (one double per line)
+//
+// All parse errors are std::runtime_error carrying the 1-based line
+// number of the offending row, e.g.
+//   "trace_io: line 12: row arity mismatch (got 2 cells, expected 3)".
+//
+// The low-level line parsers are exported so that streaming consumers
+// (runtime::StreamingTraceReader) share one definition of the format
+// instead of duplicating it.
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "trace/functional_trace.hpp"
 #include "trace/power_trace.hpp"
 
 namespace psmgen::trace {
+
+/// First line of each file format.
+const std::string& functionalTraceHeader();
+const std::string& powerTraceHeader();
+
+/// Parses the "name:kind:width,..." variable declaration (second line of
+/// a functional trace). `line_no` is used in error messages only.
+VariableSet parseVariableDeclaration(const std::string& line,
+                                     std::size_t line_no);
+
+/// Parses one data row ("<hex>,<hex>,...") against `vars`. Throws
+/// std::runtime_error naming `line_no` on arity mismatch or a cell that
+/// is not valid hex for its variable's width.
+std::vector<common::BitVector> parseFunctionalRow(const std::string& line,
+                                                  const VariableSet& vars,
+                                                  std::size_t line_no);
 
 void writeFunctionalTrace(std::ostream& os, const FunctionalTrace& trace);
 FunctionalTrace readFunctionalTrace(std::istream& is);

@@ -1,0 +1,224 @@
+// Tests for the versioned PSM model artifact (serialize/psm_artifact.hpp):
+// exact round-trip identity on the paper's four demo IPs, byte-for-byte
+// determinism of save(load(save(psm))), and strict rejection of
+// malformed, truncated, corrupted, and version-mismatched input.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/flow.hpp"
+#include "ip/ip_factory.hpp"
+#include "power/gate_estimator.hpp"
+#include "serialize/psm_artifact.hpp"
+
+namespace psmgen {
+namespace {
+
+using common::BitVector;
+
+// The flow owns the PSM the simulator points into, so it is trained in
+// place rather than returned by value.
+void trainIp(core::CharacterizationFlow& flow, ip::IpKind kind,
+             std::size_t per_trace_cycles) {
+  auto device = ip::makeDevice(kind);
+  power::GateLevelEstimator est(*device, ip::powerConfig(kind));
+  for (const auto& spec : ip::shortTSPlan(kind)) {
+    auto tb = ip::makeTestbench(kind, ip::TestsetMode::Short, spec.seed);
+    auto pair = est.run(*tb, per_trace_cycles);
+    flow.addTrainingTrace(std::move(pair.functional), std::move(pair.power));
+  }
+  flow.build();
+}
+
+std::string serializeToString(const core::Psm& psm,
+                              const core::PropositionDomain& domain) {
+  std::ostringstream os(std::ios::binary);
+  serialize::writePsmModel(os, psm, domain);
+  return os.str();
+}
+
+serialize::PsmModel parse(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  return serialize::readPsmModel(is);
+}
+
+void expectRoundTrip(ip::IpKind kind) {
+  core::CharacterizationFlow flow;
+  trainIp(flow, kind, 2000);
+  const std::string first = serializeToString(flow.psm(), flow.domain());
+  const serialize::PsmModel loaded = parse(first);
+  EXPECT_TRUE(loaded.psm == flow.psm());
+  EXPECT_TRUE(loaded.domain == flow.domain());
+  // save(load(save(psm))) is byte-identical.
+  const std::string second = serializeToString(loaded.psm, loaded.domain);
+  EXPECT_EQ(second, first);
+  const serialize::PsmModel reloaded = parse(second);
+  EXPECT_TRUE(reloaded.psm == loaded.psm);
+  EXPECT_EQ(serializeToString(reloaded.psm, reloaded.domain), first);
+}
+
+TEST(SerializeRoundTrip, Ram) { expectRoundTrip(ip::IpKind::Ram); }
+TEST(SerializeRoundTrip, MultSum) { expectRoundTrip(ip::IpKind::MultSum); }
+TEST(SerializeRoundTrip, Aes) { expectRoundTrip(ip::IpKind::Aes); }
+TEST(SerializeRoundTrip, Camellia) { expectRoundTrip(ip::IpKind::Camellia); }
+
+/// A hand-built model exercising every optional field: multi-pattern
+/// alternatives with multiplicities, regression output functions on both
+/// Hamming scopes, source intervals, and wide (multi-limb) constants.
+struct TinyModel {
+  core::PropositionDomain domain;
+  core::Psm psm;
+};
+
+TinyModel buildTinyModel() {
+  trace::VariableSet vars;
+  vars.add("en", 1, trace::VarKind::Input);
+  vars.add("bus", 100, trace::VarKind::Input);
+  vars.add("q", 8, trace::VarKind::Output);
+
+  std::vector<core::AtomicProposition> atoms(2);
+  atoms[0].lhs = 0;
+  atoms[0].op = core::CmpOp::Eq;
+  atoms[0].rhs_const = BitVector(1, 1);
+  atoms[1].lhs = 1;
+  atoms[1].op = core::CmpOp::Gt;
+  atoms[1].rhs_const = BitVector::fromHex("deadbeefdeadbeefcafe", 100);
+
+  core::PropositionDomain domain(vars, atoms);
+  const core::PropId p0 = domain.intern(core::Signature({false, false}));
+  const core::PropId p1 = domain.intern(core::Signature({true, false}));
+  const core::PropId p2 = domain.intern(core::Signature({true, true}));
+
+  core::Psm psm;
+  core::PowerState idle;
+  idle.assertion.alts = {{{p0, p1, true}},
+                         {{p0, p2, true}, {p2, p1, false}}};
+  idle.assertion.counts = {3, 1};
+  idle.power = core::PowerAttr::single(1.0e-3, 1.0e-4, 42);
+  idle.intervals = {{0, 9, 0}, {20, 29, 1}};
+  idle.initial_count = 2;
+  psm.addState(std::move(idle));
+
+  core::PowerState active;
+  active.assertion.alts = {{{p1, p0, true}}};
+  active.power = core::PowerAttr::merged(
+      core::PowerAttr::single(5.0e-3, 2.0e-4, 10),
+      core::PowerAttr::single(6.0e-3, 1.0e-4, 14));
+  active.regression = stats::LinearFit{4.5e-3, 2.5e-5, 0.93, 0.87, 24};
+  active.regression_scope = core::HammingScope::Inputs;
+  psm.addState(std::move(active));
+
+  psm.addTransition({0, 1, p1, 3});
+  psm.addTransition({1, 0, p0, 2});
+  psm.addInitial(0);
+  psm.addInitial(1);
+  return {std::move(domain), std::move(psm)};
+}
+
+TEST(Serialize, TinyModelRoundTripsEveryField) {
+  const TinyModel tiny = buildTinyModel();
+  const std::string bytes = serializeToString(tiny.psm, tiny.domain);
+  const serialize::PsmModel loaded = parse(bytes);
+  EXPECT_TRUE(loaded.psm == tiny.psm);
+  EXPECT_TRUE(loaded.domain == tiny.domain);
+  EXPECT_EQ(serializeToString(loaded.psm, loaded.domain), bytes);
+  // Spot-check the optional fields survived.
+  ASSERT_TRUE(loaded.psm.state(1).regression.has_value());
+  EXPECT_EQ(loaded.psm.state(1).regression->slope, 2.5e-5);
+  EXPECT_EQ(loaded.psm.state(1).regression_scope, core::HammingScope::Inputs);
+  EXPECT_EQ(loaded.psm.state(0).assertion.counts,
+            (std::vector<std::size_t>{3, 1}));
+  EXPECT_EQ(loaded.domain.atoms()[1].rhs_const,
+            BitVector::fromHex("deadbeefdeadbeefcafe", 100));
+}
+
+const std::string& tinyArtifact() {
+  static const std::string bytes = [] {
+    const TinyModel tiny = buildTinyModel();
+    return serializeToString(tiny.psm, tiny.domain);
+  }();
+  return bytes;
+}
+
+void expectFormatError(const std::string& bytes, const std::string& fragment) {
+  try {
+    parse(bytes);
+    FAIL() << "expected FormatError containing '" << fragment << "'";
+  } catch (const serialize::FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(SerializeErrors, EmptyStream) {
+  expectFormatError("", "missing magic");
+}
+
+TEST(SerializeErrors, BadMagic) {
+  std::string bytes = tinyArtifact();
+  bytes[0] = 'X';
+  expectFormatError(bytes, "bad magic");
+}
+
+TEST(SerializeErrors, UnsupportedVersion) {
+  std::string bytes = tinyArtifact();
+  bytes[8] = 0x7F;  // version field follows the 8-byte magic
+  expectFormatError(bytes, "unsupported format version");
+}
+
+TEST(SerializeErrors, TruncationAtEveryRegion) {
+  const std::string& bytes = tinyArtifact();
+  // Cut inside the magic, the version/length header, the payload, and
+  // the trailing checksum: every prefix must be rejected, never parsed.
+  const std::size_t cuts[] = {1,  4,        8,  10, 19,
+                              21, bytes.size() / 2, bytes.size() - 9,
+                              bytes.size() - 1};
+  for (const std::size_t cut : cuts) {
+    ASSERT_LT(cut, bytes.size());
+    expectFormatError(bytes.substr(0, cut), "truncated");
+  }
+}
+
+TEST(SerializeErrors, ChecksumCatchesCorruption) {
+  std::string bytes = tinyArtifact();
+  bytes[bytes.size() / 2] ^= 0x40;  // flip a payload bit
+  expectFormatError(bytes, "checksum mismatch");
+}
+
+TEST(SerializeErrors, ValidationCatchesCorruptionBehindFixedChecksum) {
+  // Corrupt the first payload byte (the variable-count field) and re-seal
+  // the checksum: the semantic validators must still reject the artifact.
+  std::string bytes = tinyArtifact();
+  const std::size_t payload_begin = 8 + 4 + 8;  // magic + version + length
+  const std::size_t payload_size = bytes.size() - payload_begin - 8;
+  bytes[payload_begin] = static_cast<char>(0xFF);
+  const std::uint64_t hash =
+      serialize::fnv1a(bytes.data() + payload_begin, payload_size);
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<char>(hash >> (8 * i));
+  }
+  EXPECT_THROW(parse(bytes), serialize::FormatError);
+}
+
+TEST(SerializeErrors, FileRoundTripAndTrailingBytes) {
+  const TinyModel tiny = buildTinyModel();
+  const std::string path = testing::TempDir() + "psmgen_artifact_test.psm";
+  serialize::savePsmModel(path, tiny.psm, tiny.domain);
+  const serialize::PsmModel loaded = serialize::loadPsmModel(path);
+  EXPECT_TRUE(loaded.psm == tiny.psm);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os << "junk";
+  }
+  EXPECT_THROW(serialize::loadPsmModel(path), serialize::FormatError);
+  std::remove(path.c_str());
+  EXPECT_THROW(serialize::loadPsmModel(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace psmgen

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <sstream>
 
 #include "trace/functional_trace.hpp"
@@ -120,6 +121,130 @@ TEST(TraceIo, RejectsGarbage) {
   EXPECT_THROW(readFunctionalTrace(ss), std::runtime_error);
   std::stringstream ss2("also not\n");
   EXPECT_THROW(readPowerTrace(ss2), std::runtime_error);
+}
+
+/// Asserts that parsing `text` as a functional (power) trace fails with
+/// a message containing every fragment.
+template <typename Reader>
+void expectParseError(Reader reader, const std::string& text,
+                      const std::vector<std::string>& fragments) {
+  std::stringstream ss(text);
+  try {
+    reader(ss);
+    FAIL() << "expected a parse error for: " << text;
+  } catch (const std::runtime_error& e) {
+    for (const auto& fragment : fragments) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << fragment << "'";
+    }
+  }
+}
+
+TEST(TraceIoErrors, TruncatedFunctionalFile) {
+  expectParseError(readFunctionalTrace, "",
+                   {"missing functional trace header"});
+  expectParseError(readFunctionalTrace, "# psmgen functional trace v1\n",
+                   {"truncated", "variable declaration"});
+}
+
+TEST(TraceIoErrors, BadFunctionalHeaderAndDeclaration) {
+  expectParseError(readFunctionalTrace, "# psmgen functional trace v99\na:in:1\n",
+                   {"missing functional trace header"});
+  expectParseError(readFunctionalTrace,
+                   "# psmgen functional trace v1\na:in\n",
+                   {"line 2", "bad variable declaration"});
+  expectParseError(readFunctionalTrace,
+                   "# psmgen functional trace v1\na:sideways:1\n",
+                   {"line 2", "bad variable kind"});
+  expectParseError(readFunctionalTrace,
+                   "# psmgen functional trace v1\na:in:zero\n",
+                   {"line 2", "bad variable width"});
+  expectParseError(readFunctionalTrace,
+                   "# psmgen functional trace v1\na:in:1,a:in:2\n",
+                   {"line 2", "duplicate"});
+}
+
+TEST(TraceIoErrors, RowErrorsReportTheLine) {
+  const std::string preamble =
+      "# psmgen functional trace v1\nen:in:1,data:in:8,out:out:8\n";
+  expectParseError(readFunctionalTrace, preamble + "0,00,00\n1,ff\n",
+                   {"line 4", "arity mismatch", "got 2", "expected 3"});
+  expectParseError(readFunctionalTrace, preamble + "0,00,00\n\n0,zz,00\n",
+                   {"line 5", "data", "bad value"});
+  // A value wider than the declared variable is malformed, not truncated.
+  expectParseError(readFunctionalTrace, preamble + "3,00,00\n",
+                   {"line 3", "en", "does not fit"});
+}
+
+TEST(TraceIoErrors, PowerTraceErrorsReportTheLine) {
+  expectParseError(readPowerTrace, "# psmgen power trace v1\n",
+                   {"truncated", "power parameter"});
+  expectParseError(readPowerTrace, "# psmgen power trace v1\n1.0,2.0\n",
+                   {"line 2", "bad power parameter line"});
+  expectParseError(readPowerTrace, "# psmgen power trace v1\n1.0,2.0,oops\n",
+                   {"line 2", "bad capacitance"});
+  expectParseError(readPowerTrace,
+                   "# psmgen power trace v1\n1,1e8,1e-14\n0.5\nnope\n",
+                   {"line 4", "bad power sample"});
+}
+
+TEST(TraceIoErrors, UnreadablePath) {
+  const std::string missing = "/nonexistent-psmgen-dir/trace.csv";
+  EXPECT_THROW(loadFunctionalTrace(missing), std::runtime_error);
+  EXPECT_THROW(loadPowerTrace(missing), std::runtime_error);
+  EXPECT_THROW(saveFunctionalTrace(missing, demoTrace()), std::runtime_error);
+  EXPECT_THROW(savePowerTrace(missing, PowerTrace{}), std::runtime_error);
+  try {
+    loadFunctionalTrace(missing);
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos);
+  }
+}
+
+TEST(TraceIoProperty, RandomizedFunctionalRoundTrip) {
+  std::mt19937_64 rng(0x5EED);
+  for (int iter = 0; iter < 20; ++iter) {
+    VariableSet vars;
+    const std::size_t nvars = 1 + rng() % 5;
+    for (std::size_t v = 0; v < nvars; ++v) {
+      // Widths crossing the 64-bit limb boundary exercise multi-limb hex.
+      const unsigned width = 1 + static_cast<unsigned>(rng() % 90);
+      vars.add("v" + std::to_string(v), width,
+               rng() % 2 ? VarKind::Input : VarKind::Output);
+    }
+    FunctionalTrace t(vars);
+    const std::size_t rows = rng() % 40;
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::vector<BitVector> row;
+      for (std::size_t v = 0; v < nvars; ++v) {
+        BitVector value(vars[v].width);
+        for (unsigned b = 0; b < value.width(); ++b) {
+          if (rng() % 2) value.setBit(b, true);
+        }
+        row.push_back(std::move(value));
+      }
+      t.append(std::move(row));
+    }
+    std::stringstream ss;
+    writeFunctionalTrace(ss, t);
+    const FunctionalTrace back = readFunctionalTrace(ss);
+    ASSERT_EQ(back, t) << "iteration " << iter;
+  }
+}
+
+TEST(TraceIoProperty, RandomizedPowerRoundTrip) {
+  std::mt19937_64 rng(0xCAFE);
+  std::uniform_real_distribution<double> watts(0.0, 1.0);
+  for (int iter = 0; iter < 20; ++iter) {
+    PowerTrace p({0.5 + watts(rng), 1e6 + 1e9 * watts(rng), 1e-14 * watts(rng)});
+    const std::size_t samples = rng() % 50;
+    for (std::size_t s = 0; s < samples; ++s) p.append(watts(rng) * 1e-2);
+    std::stringstream ss;
+    writePowerTrace(ss, p);
+    const PowerTrace back = readPowerTrace(ss);
+    // precision(17) makes the decimal rendering lossless for doubles.
+    ASSERT_EQ(back, p) << "iteration " << iter;
+  }
 }
 
 TEST(Vcd, EmitsDeclarationsAndChanges) {
