@@ -83,4 +83,22 @@ unsigned threadsArg(int argc, char** argv, unsigned fallback) {
   return fallback;
 }
 
+obs::Options obsArgs(int argc, char** argv, bool force_metrics) {
+  obs::Options opts;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--log-level") == 0) {
+      if (const auto parsed = obs::parseLogLevel(argv[i + 1])) {
+        opts.log_level = *parsed;
+      }
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      opts.metrics_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      opts.trace_out = argv[i + 1];
+    }
+  }
+  if (force_metrics) opts.metrics = true;
+  obs::configure(opts);
+  return opts;
+}
+
 }  // namespace psmgen::bench

@@ -13,6 +13,7 @@
 
 #include "core/flow.hpp"
 #include "ip/ip_factory.hpp"
+#include "obs/obs.hpp"
 #include "power/gate_estimator.hpp"
 
 namespace psmgen::bench {
@@ -59,5 +60,13 @@ std::size_t cyclesArg(int argc, char** argv, std::size_t fallback);
 /// Reads a "--threads N" override from argv; returns fallback if absent
 /// or malformed (0 = all hardware threads, 1 = sequential).
 unsigned threadsArg(int argc, char** argv, unsigned fallback);
+
+/// Parses the shared observability flags (--log-level LVL,
+/// --metrics-out F, --trace-out F) and configures the process-global obs
+/// layer, so every bench binary exposes the same surface as the CLI.
+/// `force_metrics` enables the registry even without --metrics-out, for
+/// benches whose stdout JSON embeds registry dumps (table4). Returns the
+/// applied options; call obs::flushOutputs() before exiting.
+obs::Options obsArgs(int argc, char** argv, bool force_metrics = false);
 
 }  // namespace psmgen::bench

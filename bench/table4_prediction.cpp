@@ -8,12 +8,20 @@
 // (a) cold-load: loadPsmModel wall time, including the HMM integrity
 // re-derivation, and (b) streaming throughput: rows/second through
 // StreamingTraceReader + OnlinePredictor with the default chunk size.
-// Results are emitted as JSON on stdout (one object per IP) so they can
-// be tracked across commits; --cycles N overrides the eval length.
+//
+// stdout is a JSON array of {"ip": ..., "metrics": {...}} objects where
+// each "metrics" value is one full dump of the obs metrics registry
+// (schema "psmgen.metrics.v1") — the very same schema `psmgen
+// --metrics-out` writes, so runtime metrics and bench results can be
+// tracked and diffed with one set of tooling. The bench-only measurements
+// land in `bench.*` gauges; the predictor/reader counters (predict.*,
+// reader.*) are filled by the instrumented pipeline itself. --cycles N
+// overrides the eval length.
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "bench_common.hpp"
@@ -34,16 +42,33 @@ std::size_t fileBytes(const std::string& path) {
   return is ? static_cast<std::size_t>(is.tellg()) : 0;
 }
 
+/// Indents every line of a JSON blob so the embedded registry dump reads
+/// nicely inside the per-IP array element.
+std::string indented(const std::string& json, const std::string& pad) {
+  std::string out;
+  out.reserve(json.size());
+  for (const char c : json) {
+    out.push_back(c);
+    if (c == '\n') out += pad;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace psmgen;
   const std::size_t cycles = bench::cyclesArg(argc, argv, 200000);
+  // The registry is the result sink here, so it runs enabled even
+  // without --metrics-out.
+  bench::obsArgs(argc, argv, /*force_metrics=*/true);
   const std::string dir = "/tmp";
 
   std::printf("[\n");
   bool first = true;
   for (const ip::IpKind kind : ip::kAllIps) {
+    // One registry generation per IP: reset, run, dump.
+    obs::metrics().reset();
     const bench::FlowRun run =
         bench::trainFlow(kind, ip::TestsetMode::Short, ip::shortTSPlan(kind));
     const std::string model_path =
@@ -75,19 +100,29 @@ int main(int argc, char** argv) {
     const runtime::PredictorStats stats = predictor.predictStream(reader);
     const double stream_s = seconds(t1);
 
-    std::printf("%s  {\"ip\": \"%s\", \"states\": %zu, \"model_bytes\": %zu,\n"
-                "   \"cold_load_ms\": %.3f, \"rows\": %zu,\n"
-                "   \"stream_seconds\": %.4f, \"rows_per_second\": %.0f,\n"
-                "   \"predict_rows_per_second\": %.0f,\n"
-                "   \"wsp_percent\": %.2f, \"peak_buffered_rows\": %zu}",
+    obs::Registry& reg = obs::metrics();
+    reg.gauge("bench.states").set(static_cast<double>(model.psm.stateCount()));
+    reg.gauge("bench.model_bytes")
+        .set(static_cast<double>(fileBytes(model_path)));
+    reg.gauge("bench.cold_load_ms").set(1e3 * load_s);
+    reg.gauge("bench.stream_seconds").set(stream_s);
+    reg.gauge("bench.rows_per_second")
+        .set(stream_s > 0.0 ? static_cast<double>(stats.rows) / stream_s
+                            : 0.0);
+    reg.gauge("bench.predict_rows_per_second").set(stats.rowsPerSecond());
+
+    std::ostringstream metrics_json;
+    reg.writeJson(metrics_json);
+    std::string mj = metrics_json.str();
+    while (!mj.empty() && (mj.back() == '\n' || mj.back() == ' ')) {
+      mj.pop_back();
+    }
+    std::printf("%s  {\"ip\": \"%s\", \"metrics\": %s}",
                 first ? "" : ",\n", ip::ipName(kind).c_str(),
-                model.psm.stateCount(), fileBytes(model_path),
-                1e3 * load_s, stats.rows, stream_s,
-                stream_s > 0.0 ? stats.rows / stream_s : 0.0,
-                stats.rowsPerSecond(), stats.wspPercent(),
-                reader.peakBufferedRows());
+                indented(mj, "  ").c_str());
     first = false;
   }
   std::printf("\n]\n");
+  obs::flushOutputs();
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <limits>
 
@@ -11,6 +12,8 @@ namespace {
 // Set for the lifetime of a worker thread; parallelFor degrades to an
 // inline loop when invoked from a worker so nested calls cannot deadlock.
 thread_local bool tls_inside_worker = false;
+// Stable worker id (>= 1) inside a pool worker, -1 everywhere else.
+thread_local int tls_worker_id = -1;
 }  // namespace
 
 struct ThreadPool::Job {
@@ -35,11 +38,13 @@ unsigned ThreadPool::resolveThreads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
+int ThreadPool::currentWorkerId() { return tls_worker_id; }
+
 ThreadPool::ThreadPool(unsigned num_threads)
-    : thread_count_(resolveThreads(num_threads)) {
+    : thread_count_(resolveThreads(num_threads)), stats_(thread_count_) {
   workers_.reserve(thread_count_ > 0 ? thread_count_ - 1 : 0);
   for (unsigned i = 1; i < thread_count_; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, i] { workerLoop(i); });
   }
 }
 
@@ -52,12 +57,16 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::runChunks(Job& job) {
+void ThreadPool::runChunks(Job& job, unsigned participant) {
+  const auto t0 = std::chrono::steady_clock::now();
+  StatsSlot& slot = job.pool->stats_[participant];
   while (true) {
     const std::size_t begin =
         job.cursor.fetch_add(job.grain, std::memory_order_relaxed);
     if (begin >= job.n) break;
     const std::size_t end = std::min(job.n, begin + job.grain);
+    slot.chunks.fetch_add(1, std::memory_order_relaxed);
+    slot.iterations.fetch_add(end - begin, std::memory_order_relaxed);
     try {
       for (std::size_t i = begin; i < end; ++i) (*job.body)(i);
     } catch (...) {
@@ -77,10 +86,17 @@ void ThreadPool::runChunks(Job& job) {
       break;
     }
   }
+  slot.busy_nanos.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()),
+      std::memory_order_relaxed);
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(unsigned worker_id) {
   tls_inside_worker = true;
+  tls_worker_id = static_cast<int>(worker_id);
   std::uint64_t seen_generation = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
@@ -92,11 +108,32 @@ void ThreadPool::workerLoop() {
     Job& job = *job_;
     ++job.active;
     lock.unlock();
-    runChunks(job);
+    runChunks(job, worker_id);
     lock.lock();
     --job.active;
     done_cv_.notify_all();
   }
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::workerStats() const {
+  std::vector<WorkerStats> out(stats_.size());
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    out[i].chunks = stats_[i].chunks.load(std::memory_order_relaxed);
+    out[i].iterations = stats_[i].iterations.load(std::memory_order_relaxed);
+    out[i].busy_seconds =
+        static_cast<double>(
+            stats_[i].busy_nanos.load(std::memory_order_relaxed)) *
+        1e-9;
+  }
+  return out;
+}
+
+std::size_t ThreadPool::queueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (job_ == nullptr) return 0;
+  const std::size_t handed =
+      std::min(job_->n, job_->cursor.load(std::memory_order_relaxed));
+  return job_->n - handed;
 }
 
 void ThreadPool::parallelFor(std::size_t n,
@@ -119,8 +156,9 @@ void ThreadPool::parallelFor(std::size_t n,
     job_ = &job;
     ++generation_;
   }
+  jobs_executed_.fetch_add(1, std::memory_order_relaxed);
   work_cv_.notify_all();
-  runChunks(job);
+  runChunks(job, /*participant=*/0);
 
   std::unique_lock<std::mutex> lock(mutex_);
   // Wait for the last iteration *and* for every worker to step out of the

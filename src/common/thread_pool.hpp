@@ -32,6 +32,22 @@ class ThreadPool {
   /// (at least 1 when hardware_concurrency is unknown).
   static unsigned resolveThreads(unsigned requested);
 
+  /// Stable id of the calling thread within its owning pool: workers are
+  /// numbered 1 .. threadCount()-1 for the life of the pool; any thread
+  /// that is not a pool worker (including the parallelFor caller, which
+  /// participates as slot 0) returns -1. Observability uses this to give
+  /// every worker its own trace lane.
+  static int currentWorkerId();
+
+  /// Per-participant counters, indexed 0 (the parallelFor caller) to
+  /// threadCount()-1 (workers). busy_seconds is wall time spent running
+  /// chunks; utilization of a build is sum(busy) / (elapsed * threads).
+  struct WorkerStats {
+    std::uint64_t chunks = 0;      ///< chunk claims that ran iterations
+    std::uint64_t iterations = 0;  ///< body invocations
+    double busy_seconds = 0.0;     ///< wall time inside runChunks
+  };
+
   /// Spawns resolveThreads(num_threads) - 1 worker threads (the caller of
   /// parallelFor is always the remaining participant). A pool of one
   /// thread spawns no workers at all.
@@ -42,6 +58,20 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   unsigned threadCount() const { return thread_count_; }
+
+  /// Snapshot of every participant's counters (index 0 = caller slot).
+  /// Only the inline fast path of parallelFor (single thread / tiny n /
+  /// nested call) bypasses these counters.
+  std::vector<WorkerStats> workerStats() const;
+
+  /// parallelFor invocations that actually fanned out to the workers.
+  std::uint64_t jobsExecuted() const {
+    return jobs_executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Iterations of the currently running job not yet handed out; 0 when
+  /// the pool is idle. A sampling gauge, inherently approximate.
+  std::size_t queueDepth() const;
 
   /// Runs body(i) for every i in [0, n) and blocks until all iterations
   /// completed. Iterations are dealt out in chunks of `grain` consecutive
@@ -60,13 +90,23 @@ class ThreadPool {
  private:
   struct Job;
 
-  void workerLoop();
-  static void runChunks(Job& job);
+  /// Per-participant stats slot; written only by the owning participant,
+  /// read by workerStats().
+  struct StatsSlot {
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> iterations{0};
+    std::atomic<std::uint64_t> busy_nanos{0};
+  };
+
+  void workerLoop(unsigned worker_id);
+  static void runChunks(Job& job, unsigned participant);
 
   unsigned thread_count_ = 1;
   std::vector<std::thread> workers_;
+  std::vector<StatsSlot> stats_;  ///< one slot per participant
+  std::atomic<std::uint64_t> jobs_executed_{0};
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_cv_;  ///< workers wait here for a new job
   std::condition_variable done_cv_;  ///< parallelFor waits here for completion
   Job* job_ = nullptr;               ///< current job (guarded by mutex_)

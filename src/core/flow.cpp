@@ -12,7 +12,9 @@
 namespace psmgen::core {
 
 CharacterizationFlow::CharacterizationFlow(FlowConfig config)
-    : config_(config) {}
+    : config_(std::move(config)) {
+  if (config_.obs.any()) obs::configure(config_.obs);
+}
 
 void CharacterizationFlow::addTrainingTrace(trace::FunctionalTrace functional,
                                             trace::PowerTrace power) {
@@ -36,6 +38,7 @@ BuildReport CharacterizationFlow::build() {
   }
   const auto t0 = std::chrono::steady_clock::now();
   BuildReport report;
+  obs::Span build_span("flow.build");
 
   // One pool for the whole build; null on the num_threads == 1 path so
   // every parallel_for below degenerates to the seed's sequential loops.
@@ -48,13 +51,17 @@ BuildReport CharacterizationFlow::build() {
 
   // III-A: mine the shared proposition domain. The flow-level knob
   // governs every stage, including mining.
-  MinerConfig miner_config = config_.miner;
-  miner_config.num_threads = config_.num_threads;
-  AssertionMiner miner(miner_config);
-  std::vector<const trace::FunctionalTrace*> views;
-  views.reserve(functional_.size());
-  for (const auto& f : functional_) views.push_back(&f);
-  domain_ = std::make_unique<PropositionDomain>(miner.buildDomain(views, pool));
+  {
+    obs::PhaseScope phase("mine");
+    MinerConfig miner_config = config_.miner;
+    miner_config.num_threads = config_.num_threads;
+    AssertionMiner miner(miner_config);
+    std::vector<const trace::FunctionalTrace*> views;
+    views.reserve(functional_.size());
+    for (const auto& f : functional_) views.push_back(&f);
+    domain_ =
+        std::make_unique<PropositionDomain>(miner.buildDomain(views, pool));
+  }
   report.atoms = domain_->atoms().size();
 
   // III-B: one chain PSM per training pair. Evaluating the atom set on
@@ -78,60 +85,122 @@ BuildReport CharacterizationFlow::build() {
       chunks.push_back({i, b, std::min(len, b + kRowChunk)});
     }
   }
-  common::parallel_for(pool, chunks.size(), [&](std::size_t c) {
-    const RowChunk& chunk = chunks[c];
-    const trace::FunctionalTrace& f = functional_[chunk.trace];
-    for (std::size_t t = chunk.begin; t < chunk.end; ++t) {
-      signatures[chunk.trace][t] = domain_->evalRow(f.step(t));
-    }
-  });
-  std::vector<PropositionTrace> gammas(trace_count);
-  for (std::size_t i = 0; i < trace_count; ++i) {
-    gammas[i].ids.reserve(signatures[i].size());
-    for (const Signature& sig : signatures[i]) {
-      gammas[i].ids.push_back(domain_->intern(sig));
-    }
-    signatures[i] = {};  // free as we go; traces can be large
+  {
+    obs::PhaseScope phase("signatures");
+    common::parallel_for(pool, chunks.size(), [&](std::size_t c) {
+      const RowChunk& chunk = chunks[c];
+      obs::Span span("signatures#" + std::to_string(c), "task");
+      const trace::FunctionalTrace& f = functional_[chunk.trace];
+      for (std::size_t t = chunk.begin; t < chunk.end; ++t) {
+        signatures[chunk.trace][t] = domain_->evalRow(f.step(t));
+      }
+    });
   }
+  std::size_t total_rows = 0;
+  for (const auto& sigs : signatures) total_rows += sigs.size();
+  obs::metrics().counter("flow.rows_evaluated").add(total_rows);
+
+  std::vector<PropositionTrace> gammas(trace_count);
+  {
+    obs::PhaseScope phase("intern");
+    for (std::size_t i = 0; i < trace_count; ++i) {
+      gammas[i].ids.reserve(signatures[i].size());
+      for (const Signature& sig : signatures[i]) {
+        gammas[i].ids.push_back(domain_->intern(sig));
+      }
+      signatures[i] = {};  // free as we go; traces can be large
+    }
+  }
+  obs::metrics().gauge("flow.propositions").set(
+      static_cast<double>(domain_->size()));
 
   // XU-automaton walk per trace, into pre-sized slots.
-  raw_psms_.assign(trace_count, Psm{});
-  common::parallel_for(pool, trace_count, [&](std::size_t i) {
-    raw_psms_[i] =
-        PsmGenerator::generate(gammas[i], power_[i], static_cast<int>(i));
-  });
+  {
+    obs::PhaseScope phase("xu_walk");
+    raw_psms_.assign(trace_count, Psm{});
+    common::parallel_for(pool, trace_count, [&](std::size_t i) {
+      obs::Span span("xu_walk#" + std::to_string(i), "task");
+      raw_psms_[i] =
+          PsmGenerator::generate(gammas[i], power_[i], static_cast<int>(i));
+    });
+  }
   for (const Psm& p : raw_psms_) report.raw_states += p.stateCount();
   report.propositions = domain_->size();
 
   // IV: simplify each chain (independent per trace), then join the set.
   std::vector<Psm> simplified = raw_psms_;
   if (config_.apply_simplify) {
+    obs::PhaseScope phase("simplify");
     std::vector<std::size_t> fused(trace_count, 0);
     common::parallel_for(pool, trace_count, [&](std::size_t i) {
+      obs::Span span("simplify#" + std::to_string(i), "task");
       fused[i] = simplify(simplified[i], config_.merge);
     });
     for (const std::size_t f : fused) report.simplified_pairs += f;
   }
-  combined_ = config_.apply_join
-                  ? join(simplified, config_.merge, pool)
-                  : disjointUnion(simplified);
+  {
+    obs::PhaseScope phase("join");
+    combined_ = config_.apply_join
+                    ? join(simplified, config_.merge, pool)
+                    : disjointUnion(simplified);
+  }
 
   // IV: regression refinement of data-dependent states.
   if (config_.apply_refine) {
+    obs::PhaseScope phase("refine");
     const RefineReport rr = refineDataDependentStates(
         combined_, functional_, power_, config_.refine);
     report.refined_states = rr.refined;
   }
 
   // V: HMM-backed simulator.
-  simulator_ =
-      std::make_unique<PsmSimulator>(combined_, *domain_, config_.sim);
+  {
+    obs::PhaseScope phase("hmm");
+    simulator_ =
+        std::make_unique<PsmSimulator>(combined_, *domain_, config_.sim);
+  }
 
   report.states = combined_.stateCount();
   report.transitions = combined_.transitionCount();
   report.generation_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+
+  obs::Registry& reg = obs::metrics();
+  reg.gauge("flow.atoms").set(static_cast<double>(report.atoms));
+  reg.gauge("flow.raw_states").set(static_cast<double>(report.raw_states));
+  reg.gauge("flow.states").set(static_cast<double>(report.states));
+  reg.gauge("flow.transitions").set(static_cast<double>(report.transitions));
+  reg.gauge("flow.refined_states")
+      .set(static_cast<double>(report.refined_states));
+  reg.gauge("flow.generation_seconds").set(report.generation_seconds);
+  if (pool != nullptr && reg.enabled()) {
+    reg.gauge("pool.workers").set(static_cast<double>(pool->threadCount()));
+    reg.gauge("pool.jobs").set(static_cast<double>(pool->jobsExecuted()));
+    const auto stats = pool->workerStats();
+    double busy = 0.0;
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      const std::string base = "pool.worker." + std::to_string(i) + ".";
+      reg.gauge(base + "busy_seconds").set(stats[i].busy_seconds);
+      reg.gauge(base + "chunks").set(static_cast<double>(stats[i].chunks));
+      reg.gauge(base + "iterations")
+          .set(static_cast<double>(stats[i].iterations));
+      busy += stats[i].busy_seconds;
+    }
+    const double wall = report.generation_seconds *
+                        static_cast<double>(pool->threadCount());
+    reg.gauge("pool.utilization_percent")
+        .set(wall > 0.0 ? 100.0 * busy / wall : 0.0);
+  }
+  obs::info("flow.built",
+            {{"atoms", report.atoms},
+             {"propositions", report.propositions},
+             {"raw_states", report.raw_states},
+             {"states", report.states},
+             {"transitions", report.transitions},
+             {"refined_states", report.refined_states},
+             {"threads", common::ThreadPool::resolveThreads(config_.num_threads)},
+             {"seconds", report.generation_seconds}});
   return report;
 }
 

@@ -17,6 +17,7 @@
 #include "core/miner.hpp"
 #include "core/psm_simulator.hpp"
 #include "core/refine.hpp"
+#include "obs/obs.hpp"
 #include "trace/functional_trace.hpp"
 #include "trace/power_trace.hpp"
 
@@ -39,6 +40,13 @@ struct FlowConfig {
   /// land in per-index slots, proposition interning and merging stay in
   /// fixed index order. (Overrides miner.num_threads inside build().)
   unsigned num_threads = 1;
+  /// Observability for library embedders: when any field is non-default,
+  /// the CharacterizationFlow constructor applies these options to the
+  /// process-global obs layer (obs::configure). The CLI and bench set the
+  /// global layer themselves and leave this at the default. Enabling
+  /// observability never changes pipeline results — only what is
+  /// reported about them.
+  obs::Options obs;
 };
 
 struct BuildReport {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace psmgen::core {
 
 double MergePolicy::epsilonFor(const PowerAttr& a, const PowerAttr& b) const {
@@ -11,7 +13,38 @@ double MergePolicy::epsilonFor(const PowerAttr& a, const PowerAttr& b) const {
   return std::max(epsilon_abs, epsilon_rel * scale);
 }
 
+namespace {
+
+/// Accept/reject counters of one mergeability test kind. Handles are
+/// resolved once (mergeable() runs per candidate pair inside the join's
+/// parallel loops); a decision while observability is disabled costs one
+/// relaxed load + branch.
+struct TestKindCounters {
+  obs::Counter& accepted;
+  obs::Counter& rejected;
+  explicit TestKindCounters(const char* kind)
+      : accepted(obs::metrics().counter(std::string("merge.test.") + kind +
+                                        ".accepted")),
+        rejected(obs::metrics().counter(std::string("merge.test.") + kind +
+                                        ".rejected")) {}
+  bool decide(bool accept) {
+    (accept ? accepted : rejected).add(1);
+    return accept;
+  }
+};
+
+}  // namespace
+
 bool mergeable(const PowerAttr& a, const PowerAttr& b, const MergePolicy& pol) {
+  // Per-kind decision tallies (Sec. IV-A Cases 1-3 plus the documented
+  // span/cv guards and the designer-tolerance extension).
+  static TestKindCounters epsilon_counters("epsilon");
+  static TestKindCounters welch_counters("welch");
+  static TestKindCounters one_sample_counters("one_sample");
+  static obs::Counter& span_vetoes =
+      obs::metrics().counter("merge.test.span_veto");
+  static obs::Counter& cv_vetoes = obs::metrics().counter("merge.test.cv_veto");
+
   if (a.n == 0 || b.n == 0) return false;
   const double eps = pol.epsilonFor(a, b);
   const double dmu = std::fabs(a.mean - b.mean);
@@ -20,31 +53,36 @@ bool mergeable(const PowerAttr& a, const PowerAttr& b, const MergePolicy& pol) {
   // wide relative to the pooled mean (anti-snowball, see MergePolicy).
   {
     const PowerAttr pooled = PowerAttr::merged(a, b);
-    if (pooled.span() > pol.max_span) return false;
+    if (pooled.span() > pol.max_span) {
+      span_vetoes.add(1);
+      return false;
+    }
   }
 
   // Case 1: two next-pattern states.
-  if (a.n == 1 && b.n == 1) return dmu < eps;
+  if (a.n == 1 && b.n == 1) return epsilon_counters.decide(dmu < eps);
 
   // "Low sigma" precondition for until-states.
-  if (a.n > 1 && a.cv() > pol.max_cv) return false;
-  if (b.n > 1 && b.cv() > pol.max_cv) return false;
+  if ((a.n > 1 && a.cv() > pol.max_cv) || (b.n > 1 && b.cv() > pol.max_cv)) {
+    cv_vetoes.add(1);
+    return false;
+  }
 
   // Designer tolerance (documented extension; see header).
-  if (dmu <= eps) return true;
+  if (dmu <= eps) return epsilon_counters.decide(true);
 
   if (a.n > 1 && b.n > 1) {
     // Case 2: Welch's t-test.
     const stats::TTestResult r = stats::welchTTest({a.mean, a.stddev, a.n},
                                                    {b.mean, b.stddev, b.n});
-    return r.p_value > pol.alpha;
+    return welch_counters.decide(r.p_value > pol.alpha);
   }
   // Case 3: one-sample t-test of the single observation against the set.
   const PowerAttr& pop = a.n > 1 ? a : b;
   const double x = a.n > 1 ? b.mean : a.mean;
   const stats::TTestResult r =
       stats::oneSampleTTest({pop.mean, pop.stddev, pop.n}, x);
-  return r.p_value > pol.alpha;
+  return one_sample_counters.decide(r.p_value > pol.alpha);
 }
 
 namespace {
@@ -135,6 +173,7 @@ std::size_t simplify(Psm& psm, const MergePolicy& pol) {
     }
     psm = std::move(rebuilt);
   }
+  obs::metrics().counter("merge.simplify.fused_pairs").add(total_fused);
   return total_fused;
 }
 
@@ -316,11 +355,20 @@ Psm join(const std::vector<Psm>& psms, const MergePolicy& pol,
     }
   };
 
+  obs::metrics().gauge("merge.join.states_before")
+      .set(static_cast<double>(merged.stateCount()));
+  obs::metrics().gauge("merge.join.buckets")
+      .set(static_cast<double>(buckets.size()));
+
   for (auto& [entry, members] : buckets) {
     cluster(members, [&](const PowerState& a, const PowerState& b) {
       return mergeable(a.power, b.power, pol);
     });
   }
+  std::size_t alive_after_power = 0;
+  for (const char f : alive) alive_after_power += static_cast<std::size_t>(f);
+  obs::metrics().gauge("merge.join.states_after_power")
+      .set(static_cast<double>(alive_after_power));
 
   // Data-dependent consolidation: same functional behaviour (identical
   // entry propositions) split into power buckets by data activity.
@@ -351,6 +399,11 @@ Psm join(const std::vector<Psm>& psms, const MergePolicy& pol,
 
   Psm out = compact(merged, alive);
   normalizeAssertions(out);
+  obs::metrics().gauge("merge.join.states_after")
+      .set(static_cast<double>(out.stateCount()));
+  obs::debug("merge.joined", {{"states_before", merged.stateCount()},
+                              {"states_after", out.stateCount()},
+                              {"transitions", out.transitionCount()}});
   return out;
 }
 

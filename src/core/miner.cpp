@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
+
 namespace psmgen::core {
 
 namespace {
@@ -190,23 +192,41 @@ std::vector<AtomicProposition> AssertionMiner::mineAtoms(
     pool = local_pool.get();
   }
 
-  std::vector<AtomicProposition> candidates = candidateAtoms(traces, pool);
+  std::vector<AtomicProposition> candidates;
+  {
+    obs::Span span("miner.candidates", "miner");
+    candidates = candidateAtoms(traces, pool);
+  }
   const std::size_t total = totalLength(traces);
 
   // Support, toggle-rate and run-structure filtering. One full-trace scan
   // per atom; scans are independent and land in per-atom slots.
   std::vector<AtomStats> stats(candidates.size());
-  common::parallel_for(pool, candidates.size(), [&](std::size_t a) {
-    stats[a] = scanAtom(candidates[a], traces);
-  });
+  {
+    obs::Span span("miner.scan", "miner");
+    common::parallel_for(pool, candidates.size(), [&](std::size_t a) {
+      stats[a] = scanAtom(candidates[a], traces);
+    });
+  }
+  obs::metrics().counter("miner.candidate_atoms").add(candidates.size());
+  obs::metrics().counter("miner.rows_scanned").add(total * candidates.size());
 
+  std::size_t dropped_constant = 0;
+  std::size_t dropped_noise = 0;
+  std::size_t dropped_spiky = 0;
   const trace::VariableSet& vars = traces.front()->variables();
   std::vector<AtomicProposition> kept;
   for (std::size_t a = 0; a < candidates.size(); ++a) {
-    if (stats[a].hold == 0 || stats[a].hold == total) continue;  // constant
+    if (stats[a].hold == 0 || stats[a].hold == total) {  // constant
+      ++dropped_constant;
+      continue;
+    }
     const double toggle_rate =
         static_cast<double>(stats[a].toggles) / static_cast<double>(total);
-    if (toggle_rate > config_.max_toggle_rate) continue;  // noise
+    if (toggle_rate > config_.max_toggle_rate) {  // noise
+      ++dropped_noise;
+      continue;
+    }
     const bool boolean_atom =
         vars[static_cast<std::size_t>(candidates[a].lhs)].width == 1;
     if (!boolean_atom) {
@@ -221,10 +241,23 @@ std::vector<AtomicProposition> AssertionMiner::mineAtoms(
           spiky = true;
         }
       }
-      if (spiky) continue;
+      if (spiky) {
+        ++dropped_spiky;
+        continue;
+      }
     }
     kept.push_back(candidates[a]);
   }
+  obs::metrics().counter("miner.atoms_kept").add(kept.size());
+  obs::metrics().counter("miner.atoms_dropped.constant").add(dropped_constant);
+  obs::metrics().counter("miner.atoms_dropped.noise").add(dropped_noise);
+  obs::metrics().counter("miner.atoms_dropped.spiky").add(dropped_spiky);
+  obs::debug("miner.mined", {{"candidates", candidates.size()},
+                             {"kept", kept.size()},
+                             {"dropped_constant", dropped_constant},
+                             {"dropped_noise", dropped_noise},
+                             {"dropped_spiky", dropped_spiky},
+                             {"rows", total}});
   return kept;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace psmgen::core {
 
 PsmSimulator::PsmSimulator(const Psm& psm, const PropositionDomain& domain,
@@ -373,6 +375,7 @@ bool PsmSimulator::Session::tryCheckpoint() {
 }
 
 SimResult PsmSimulator::simulate(const trace::FunctionalTrace& trace) const {
+  obs::Span span("sim.simulate", "sim");
   Session session = startSession();
   SimResult result;
   result.estimate.reserve(trace.length());
@@ -383,6 +386,20 @@ SimResult PsmSimulator::simulate(const trace::FunctionalTrace& trace) const {
   result.wrong_predictions = session.wrongPredictions();
   result.unexpected_behaviours = session.unexpectedBehaviours();
   result.lost_instants = session.lostInstants();
+
+  obs::Registry& reg = obs::metrics();
+  reg.counter("sim.instants").add(result.estimate.size());
+  reg.counter("sim.predictions").add(result.predictions);
+  reg.counter("sim.wrong_predictions").add(result.wrong_predictions);
+  reg.counter("sim.unexpected_behaviours").add(result.unexpected_behaviours);
+  reg.counter("sim.lost_instants").add(result.lost_instants);
+  reg.gauge("sim.wsp_percent").set(result.wspPercent());
+  obs::debug("sim.simulated", {{"instants", result.estimate.size()},
+                               {"predictions", result.predictions},
+                               {"wrong", result.wrong_predictions},
+                               {"unexpected", result.unexpected_behaviours},
+                               {"lost", result.lost_instants},
+                               {"wsp_percent", result.wspPercent()}});
   return result;
 }
 

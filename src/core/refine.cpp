@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace psmgen::core {
 
 RefineReport refineDataDependentStates(
@@ -42,12 +44,21 @@ RefineReport refineDataDependentStates(
     const bool use_inputs =
         std::fabs(fit_in.pearson_r) >= std::fabs(fit_io.pearson_r);
     const stats::LinearFit& best = use_inputs ? fit_in : fit_io;
+    obs::metrics().counter("refine.regressions_fitted").add(2);
+    obs::metrics().histogram("refine.sigma").record(s.power.stddev);
+    obs::metrics().histogram("refine.cv").record(s.power.cv());
+    obs::metrics().histogram("refine.abs_pearson_r")
+        .record(std::fabs(best.pearson_r));
     if (std::fabs(best.pearson_r) < cfg.min_abs_r) continue;
     s.regression = best;
     s.regression_scope =
         use_inputs ? HammingScope::Inputs : HammingScope::Interface;
     ++report.refined;
   }
+  obs::metrics().counter("refine.candidates").add(report.candidates);
+  obs::metrics().counter("refine.refined").add(report.refined);
+  obs::debug("refine.done", {{"candidates", report.candidates},
+                             {"refined", report.refined}});
   return report;
 }
 

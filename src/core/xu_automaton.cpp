@@ -1,6 +1,21 @@
 #include "core/xu_automaton.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace psmgen::core {
+
+namespace {
+// Handles resolved once; a recognition while observability is disabled
+// costs one relaxed load + branch (the walk runs per instant-change).
+obs::Counter& nextRecognitions() {
+  static obs::Counter& c = obs::metrics().counter("xu.next_recognized");
+  return c;
+}
+obs::Counter& untilRecognitions() {
+  static obs::Counter& c = obs::metrics().counter("xu.until_recognized");
+  return c;
+}
+}  // namespace
 
 std::optional<MinedAssertion> XuAutomaton::next() {
   // f[0] = at(idx_), f[1] = at(idx_ + 1); advancing idx_ scrolls the FIFO.
@@ -21,6 +36,7 @@ std::optional<MinedAssertion> XuAutomaton::next() {
     mined.start = idx_;
     mined.stop = idx_;
     ++idx_;
+    nextRecognitions().add(1);
     return mined;
   }
 
@@ -32,6 +48,7 @@ std::optional<MinedAssertion> XuAutomaton::next() {
   mined.start = start;
   mined.stop = idx_;
   ++idx_;
+  untilRecognitions().add(1);
   return mined;
 }
 

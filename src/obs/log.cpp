@@ -1,0 +1,164 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <iostream>
+
+namespace psmgen::obs {
+
+namespace {
+
+void appendEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void appendDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // NaN/inf are invalid JSON numbers; 0 keeps the line parseable.
+    out += "0";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+/// UTC wall-clock timestamp with millisecond resolution.
+void appendTimestamp(std::string& out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  out += buf;
+}
+
+}  // namespace
+
+const char* logLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "trace";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> parseLogLevel(std::string_view text) {
+  if (text == "trace") return LogLevel::Trace;
+  if (text == "debug") return LogLevel::Debug;
+  if (text == "info") return LogLevel::Info;
+  if (text == "warn") return LogLevel::Warn;
+  if (text == "error") return LogLevel::Error;
+  if (text == "off") return LogLevel::Off;
+  return std::nullopt;
+}
+
+void LogValue::append(std::string& out, bool json) const {
+  char buf[32];
+  switch (kind_) {
+    case Kind::String:
+      out += '"';
+      appendEscaped(out, str_);
+      out += '"';
+      return;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::Int:
+      std::snprintf(buf, sizeof(buf), "%" PRId64, int_);
+      out += buf;
+      return;
+    case Kind::Uint:
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, uint_);
+      out += buf;
+      return;
+    case Kind::Double:
+      appendDouble(out, double_);
+      return;
+  }
+  (void)json;
+}
+
+void Logger::setSink(std::ostream* os) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = os;
+}
+
+void Logger::log(LogLevel level, std::string_view event,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(level)) return;
+  std::string line;
+  line.reserve(96);
+  if (format() == Format::Json) {
+    line += "{\"ts\":\"";
+    appendTimestamp(line);
+    line += "\",\"level\":\"";
+    line += logLevelName(level);
+    line += "\",\"event\":\"";
+    appendEscaped(line, event);
+    line += '"';
+    for (const LogField& f : fields) {
+      line += ",\"";
+      appendEscaped(line, f.key);
+      line += "\":";
+      f.value.append(line, /*json=*/true);
+    }
+    line += '}';
+  } else {
+    line += "ts=";
+    appendTimestamp(line);
+    line += " level=";
+    line += logLevelName(level);
+    line += " event=";
+    line += event;
+    for (const LogField& f : fields) {
+      line += ' ';
+      line += f.key;
+      line += '=';
+      f.value.append(line, /*json=*/false);
+    }
+  }
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostream& os = sink_ != nullptr ? *sink_ : std::cerr;
+  os << line;
+  os.flush();
+}
+
+Logger& logger() {
+  static Logger instance;
+  return instance;
+}
+
+}  // namespace psmgen::obs

@@ -1,0 +1,133 @@
+#pragma once
+// Structured logging for the psmgen pipeline.
+//
+// Every line is machine-parseable — `key=value` pairs by default, one
+// JSON object per line when Format::Json is selected — and always goes
+// to stderr (or a test-injected sink), never stdout: the CLI's stdout
+// carries pure results (CSV estimates, bench JSON) and must stay clean.
+//
+// Cost policy: Logger::log() first checks the level against a relaxed
+// atomic; a suppressed line costs one load and one branch. Callers that
+// would build expensive fields should guard with logger().enabled(l).
+//
+// The logger is process-global (obs::logger()); the CLI and the bench
+// harness configure it from --log-level / --quiet.
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace psmgen::obs {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+const char* logLevelName(LogLevel level);
+
+/// Parses "trace|debug|info|warn|error|off"; nullopt on anything else.
+std::optional<LogLevel> parseLogLevel(std::string_view text);
+
+/// One structured field value: string, signed/unsigned integer, floating
+/// point or bool. Implicit construction keeps call sites terse:
+///   obs::info("flow.built", {{"states", n}, {"seconds", s}});
+class LogValue {
+ public:
+  LogValue(const char* v) : kind_(Kind::String), str_(v ? v : "") {}
+  LogValue(std::string_view v) : kind_(Kind::String), str_(v) {}
+  LogValue(const std::string& v) : kind_(Kind::String), str_(v) {}
+  LogValue(bool v) : kind_(Kind::Bool) { bool_ = v; }
+  LogValue(double v) : kind_(Kind::Double) { double_ = v; }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  LogValue(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      kind_ = Kind::Int;
+      int_ = static_cast<std::int64_t>(v);
+    } else {
+      kind_ = Kind::Uint;
+      uint_ = static_cast<std::uint64_t>(v);
+    }
+  }
+
+  /// Appends the value to `out`, quoted/escaped as needed; `json` selects
+  /// JSON string escaping over key=value quoting.
+  void append(std::string& out, bool json) const;
+
+ private:
+  enum class Kind { String, Bool, Int, Uint, Double };
+  Kind kind_ = Kind::String;
+  std::string str_;
+  union {
+    bool bool_;
+    std::int64_t int_;
+    std::uint64_t uint_;
+    double double_ = 0.0;
+  };
+};
+
+struct LogField {
+  std::string_view key;
+  LogValue value;
+};
+
+class Logger {
+ public:
+  enum class Format { KeyValue, Json };
+
+  void setLevel(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel l) const { return l >= level() && l != LogLevel::Off; }
+
+  void setFormat(Format format) {
+    format_.store(static_cast<int>(format), std::memory_order_relaxed);
+  }
+  Format format() const {
+    return static_cast<Format>(format_.load(std::memory_order_relaxed));
+  }
+
+  /// Redirects output; nullptr restores the default (stderr). Test hook.
+  void setSink(std::ostream* os);
+
+  /// Emits one line: timestamp, level, `event` and the fields, atomically
+  /// with respect to concurrent log() calls.
+  void log(LogLevel level, std::string_view event,
+           std::initializer_list<LogField> fields = {});
+
+ private:
+  std::atomic<int> level_{static_cast<int>(LogLevel::Warn)};
+  std::atomic<int> format_{static_cast<int>(Format::KeyValue)};
+  std::mutex mutex_;          ///< serializes line assembly + write
+  std::ostream* sink_ = nullptr;  ///< guarded by mutex_; null = stderr
+};
+
+/// The process-global logger.
+Logger& logger();
+
+inline void debug(std::string_view event,
+                  std::initializer_list<LogField> fields = {}) {
+  logger().log(LogLevel::Debug, event, fields);
+}
+inline void info(std::string_view event,
+                 std::initializer_list<LogField> fields = {}) {
+  logger().log(LogLevel::Info, event, fields);
+}
+inline void warn(std::string_view event,
+                 std::initializer_list<LogField> fields = {}) {
+  logger().log(LogLevel::Warn, event, fields);
+}
+inline void error(std::string_view event,
+                  std::initializer_list<LogField> fields = {}) {
+  logger().log(LogLevel::Error, event, fields);
+}
+
+}  // namespace psmgen::obs

@@ -1,0 +1,195 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace psmgen::obs {
+
+namespace {
+
+void appendJsonNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";  // NaN/inf are invalid JSON numbers
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void appendJsonKey(std::string& out, const std::string& name) {
+  out += '"';
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\": ";
+}
+
+}  // namespace
+
+void Histogram::record(double v) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (samples_.size() < kMaxSamples) samples_.push_back(v);
+}
+
+double Histogram::quantileLocked(double q, std::vector<double>& scratch) const {
+  if (samples_.empty()) return 0.0;
+  scratch = samples_;
+  std::sort(scratch.begin(), scratch.end());
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest value with at least ceil(q * n) samples
+  // at or below it.
+  const std::size_t n = scratch.size();
+  std::size_t rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  return scratch[std::min(rank, n) - 1];
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double> scratch;
+  return quantileLocked(q, scratch);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.mean = count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  std::vector<double> scratch;
+  s.p50 = quantileLocked(0.50, scratch);
+  s.p95 = quantileLocked(0.95, scratch);
+  return s;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : gauges_) {
+    g->value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : histograms_) {
+    std::lock_guard<std::mutex> hlock(h->mutex_);
+    h->count_ = 0;
+    h->sum_ = 0.0;
+    h->min_ = 0.0;
+    h->max_ = 0.0;
+    h->samples_.clear();
+  }
+}
+
+void Registry::writeJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(1024);
+  out += "{\n  \"schema\": \"psmgen.metrics.v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    appendJsonKey(out, name);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, c->value());
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    appendJsonKey(out, name);
+    appendJsonNumber(out, g->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->snapshot();
+    out += first ? "\n    " : ",\n    ";
+    appendJsonKey(out, name);
+    out += "{\"count\": ";
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%zu", s.count);
+    out += buf;
+    out += ", \"sum\": ";
+    appendJsonNumber(out, s.sum);
+    out += ", \"min\": ";
+    appendJsonNumber(out, s.min);
+    out += ", \"max\": ";
+    appendJsonNumber(out, s.max);
+    out += ", \"mean\": ";
+    appendJsonNumber(out, s.mean);
+    out += ", \"p50\": ";
+    appendJsonNumber(out, s.p50);
+    out += ", \"p95\": ";
+    appendJsonNumber(out, s.p95);
+    out += '}';
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  os << out;
+}
+
+Registry& metrics() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace psmgen::obs

@@ -1,0 +1,148 @@
+#pragma once
+// Thread-safe metrics registry: counters, gauges and histograms with a
+// stable JSON dump (schema "psmgen.metrics.v1").
+//
+// Cost policy: the registry is DISABLED by default and every instrument
+// write first checks a shared relaxed atomic flag — a disabled add()/
+// set()/record() costs one load and one branch, so instrumentation can
+// live in hot paths (mergeability tests, per-pattern XU recognitions,
+// per-row prediction) without taxing the default build. Enabled counters
+// are relaxed atomics (exact under concurrency, no ordering guarantees);
+// histograms take a mutex and are meant for coarser events (per-state,
+// per-resync), not per-row ones.
+//
+// Instrument handles returned by counter()/gauge()/histogram() are
+// stable for the life of the registry; hot call sites cache them in
+// function-local statics so the name lookup happens once.
+//
+// Naming convention (see DESIGN.md for the full catalogue):
+//   <subsystem>.<noun>[.<qualifier>]   e.g. merge.test.welch.accepted
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psmgen::obs {
+
+class Registry;
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  std::atomic<std::uint64_t> value_{0};
+  const std::atomic<bool>* enabled_;
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    if (enabled_->load(std::memory_order_relaxed)) {
+      value_.store(v, std::memory_order_relaxed);
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  std::atomic<double> value_{0.0};
+  const std::atomic<bool>* enabled_;
+};
+
+struct HistogramSnapshot {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+class Histogram {
+ public:
+  /// Sample-buffer cap: count/sum/min/max stay exact beyond it; the
+  /// quantiles are then computed over the first kMaxSamples values
+  /// (deterministic, no reservoir randomness).
+  static constexpr std::size_t kMaxSamples = 65536;
+
+  void record(double v);
+
+  /// Nearest-rank quantile over the buffered samples, q in [0, 1];
+  /// 0 when no sample was recorded.
+  double quantile(double q) const;
+
+  HistogramSnapshot snapshot() const;
+
+ private:
+  friend class Registry;
+  explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  double quantileLocked(double q, std::vector<double>& scratch) const;
+
+  mutable std::mutex mutex_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> samples_;
+  const std::atomic<bool>* enabled_;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  void setEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Find-or-create by name. Handles stay valid for the registry's life
+  /// and work (as no-ops) while the registry is disabled.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Zeroes every instrument, keeping registrations and enablement.
+  void reset();
+
+  /// Dumps every instrument as JSON, names sorted, schema
+  /// "psmgen.metrics.v1":
+  ///   {"schema": "...", "counters": {...}, "gauges": {...},
+  ///    "histograms": {"name": {"count": .., "sum": .., "min": ..,
+  ///                            "max": .., "mean": .., "p50": ..,
+  ///                            "p95": ..}, ...}}
+  void writeJson(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;  ///< guards the three maps
+  std::atomic<bool> enabled_{false};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-global registry.
+Registry& metrics();
+
+}  // namespace psmgen::obs

@@ -1,0 +1,69 @@
+#include "obs/obs.hpp"
+
+#include <fstream>
+#include <utility>
+
+namespace psmgen::obs {
+
+namespace {
+Options& storedOptions() {
+  static Options options;
+  return options;
+}
+}  // namespace
+
+void configure(const Options& options) {
+  Options applied = options;
+  if (!applied.metrics_out.empty()) applied.metrics = true;
+  if (!applied.trace_out.empty()) applied.tracing = true;
+  logger().setLevel(applied.log_level);
+  logger().setFormat(applied.log_format);
+  metrics().setEnabled(applied.metrics);
+  tracer().setEnabled(applied.tracing);
+  storedOptions() = std::move(applied);
+}
+
+const Options& configuredOptions() { return storedOptions(); }
+
+bool flushOutputs() {
+  const Options& options = storedOptions();
+  bool ok = true;
+  if (!options.metrics_out.empty()) {
+    std::ofstream os(options.metrics_out);
+    if (os) {
+      metrics().writeJson(os);
+      info("obs.metrics_written", {{"path", options.metrics_out}});
+    } else {
+      error("obs.metrics_write_failed", {{"path", options.metrics_out}});
+      ok = false;
+    }
+  }
+  if (!options.trace_out.empty()) {
+    std::ofstream os(options.trace_out);
+    if (os) {
+      tracer().writeJson(os);
+      info("obs.trace_written", {{"path", options.trace_out},
+                                 {"events", tracer().eventCount()}});
+    } else {
+      error("obs.trace_write_failed", {{"path", options.trace_out}});
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+PhaseScope::PhaseScope(std::string name, std::string prefix)
+    : name_(std::move(name)),
+      prefix_(std::move(prefix)),
+      span_(prefix_ + "." + name_, "phase"),
+      t0_(std::chrono::steady_clock::now()) {}
+
+PhaseScope::~PhaseScope() {
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+          .count();
+  metrics().gauge(prefix_ + ".phase_seconds." + name_).set(seconds);
+  debug("phase", {{"phase", prefix_ + "." + name_}, {"seconds", seconds}});
+}
+
+}  // namespace psmgen::obs

@@ -1,0 +1,120 @@
+#include "obs/trace_span.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+#include "common/thread_pool.hpp"
+
+namespace psmgen::obs {
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+void appendUs(std::string& out, double us) {
+  if (!std::isfinite(us) || us < 0.0) us = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  out += buf;
+}
+
+}  // namespace
+
+double Tracer::nowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::record(std::string_view name, std::string_view category,
+                    double ts_us, double dur_us, int lane) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(
+      {std::string(name), std::string(category), ts_us, dur_us, lane});
+}
+
+std::size_t Tracer::eventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+void Tracer::writeJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(256 + events_.size() * 96);
+  out += "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+
+  // One thread_name metadata record per lane, so viewers label rows.
+  std::set<int> lanes;
+  for (const Event& e : events_) lanes.insert(e.lane);
+  bool first = true;
+  for (const int lane : lanes) {
+    out += first ? "\n" : ",\n";
+    out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(lane);
+    out += ", \"args\": {\"name\": \"";
+    out += lane == 0 ? "main" : "worker " + std::to_string(lane);
+    out += "\"}}";
+    first = false;
+  }
+
+  for (const Event& e : events_) {
+    out += first ? "\n" : ",\n";
+    out += "{\"name\": \"";
+    appendEscaped(out, e.name);
+    out += "\", \"cat\": \"";
+    appendEscaped(out, e.category);
+    out += "\", \"ph\": \"X\", \"ts\": ";
+    appendUs(out, e.ts_us);
+    out += ", \"dur\": ";
+    appendUs(out, e.dur_us);
+    out += ", \"pid\": 1, \"tid\": ";
+    out += std::to_string(e.lane);
+    out += '}';
+    first = false;
+  }
+  out += "\n]}\n";
+  os << out;
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+int currentLane() {
+  const int worker = common::ThreadPool::currentWorkerId();
+  return worker < 0 ? 0 : worker;
+}
+
+Span::Span(std::string_view name, std::string_view category) {
+  Tracer& t = tracer();
+  if (!t.enabled()) return;
+  armed_ = true;
+  name_ = name;
+  category_ = category;
+  t0_us_ = t.nowUs();
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  Tracer& t = tracer();
+  const double now = t.nowUs();
+  t.record(name_, category_, t0_us_, now - t0_us_, currentLane());
+}
+
+}  // namespace psmgen::obs

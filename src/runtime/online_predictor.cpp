@@ -2,7 +2,30 @@
 
 #include <chrono>
 
+#include "obs/obs.hpp"
+
 namespace psmgen::runtime {
+
+namespace {
+/// Registry handles resolved once; predictRow runs per stream row, so a
+/// disabled registry must cost only a relaxed load + branch per counter.
+struct PredictorCounters {
+  obs::Counter& rows = obs::metrics().counter("predict.rows");
+  obs::Counter& predictions = obs::metrics().counter("predict.predictions");
+  obs::Counter& wrong = obs::metrics().counter("predict.wrong_predictions");
+  obs::Counter& unexpected =
+      obs::metrics().counter("predict.unexpected_behaviours");
+  obs::Counter& lost = obs::metrics().counter("predict.lost_instants");
+  obs::Counter& resyncs = obs::metrics().counter("predict.resyncs");
+  obs::Histogram& resync_latency =
+      obs::metrics().histogram("predict.resync_latency_rows");
+};
+
+PredictorCounters& counters() {
+  static PredictorCounters c;
+  return c;
+}
+}  // namespace
 
 OnlinePredictor::OnlinePredictor(const core::Psm& psm,
                                  const core::PropositionDomain& domain,
@@ -19,6 +42,7 @@ void OnlinePredictor::reset() {
   session_ = sim_.startSession();
   stats_ = PredictorStats{};
   ever_synced_ = false;
+  lost_streak_ = 0;
 }
 
 double OnlinePredictor::predictRow(const std::vector<common::BitVector>& row) {
@@ -29,9 +53,27 @@ double OnlinePredictor::predictRow(const std::vector<common::BitVector>& row) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   ++stats_.rows;
+  // Registry counters take per-row deltas of the session's cumulative
+  // counters (stats_ still holds the previous row's snapshot here).
+  PredictorCounters& c = counters();
+  c.rows.add(1);
+  c.predictions.add(session_->predictions() - stats_.predictions);
+  c.wrong.add(session_->wrongPredictions() - stats_.wrong_predictions);
+  c.unexpected.add(session_->unexpectedBehaviours() -
+                   stats_.unexpected_behaviours);
+  c.lost.add(session_->lostInstants() - stats_.lost_instants);
   if (!session_->isLost()) {
-    if (was_lost && ever_synced_) ++stats_.resyncs;
+    if (was_lost && ever_synced_) {
+      ++stats_.resyncs;
+      c.resyncs.add(1);
+      // Resync latency: instants spent desynchronized before this
+      // recovery (the paper's "until a known behaviour is recognised").
+      c.resync_latency.record(static_cast<double>(lost_streak_));
+    }
     ever_synced_ = true;
+    lost_streak_ = 0;
+  } else {
+    ++lost_streak_;
   }
   stats_.predictions = session_->predictions();
   stats_.wrong_predictions = session_->wrongPredictions();
@@ -44,6 +86,7 @@ PredictorStats OnlinePredictor::predictStream(
     StreamingTraceReader& reader,
     const std::function<void(std::size_t, double)>& sink) {
   reset();
+  obs::Span span("predict.stream", "predict");
   std::vector<common::BitVector> row;
   std::size_t index = 0;
   while (reader.next(row)) {
@@ -51,6 +94,17 @@ PredictorStats OnlinePredictor::predictStream(
     if (sink) sink(index, estimate);
     ++index;
   }
+  obs::metrics().gauge("predict.wsp_percent").set(stats_.wspPercent());
+  obs::metrics().gauge("predict.rows_per_second").set(stats_.rowsPerSecond());
+  obs::debug("predict.stream_done",
+             {{"rows", stats_.rows},
+              {"predictions", stats_.predictions},
+              {"wrong", stats_.wrong_predictions},
+              {"unexpected", stats_.unexpected_behaviours},
+              {"lost", stats_.lost_instants},
+              {"resyncs", stats_.resyncs},
+              {"wsp_percent", stats_.wspPercent()},
+              {"rows_per_second", stats_.rowsPerSecond()}});
   return stats_;
 }
 

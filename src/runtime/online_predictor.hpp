@@ -93,6 +93,9 @@ class OnlinePredictor {
   std::optional<core::PsmSimulator::Session> session_;
   PredictorStats stats_;
   bool ever_synced_ = false;
+  /// Instants of the current desynchronized stretch; feeds the
+  /// `predict.resync_latency_rows` histogram on recovery.
+  std::size_t lost_streak_ = 0;
 };
 
 }  // namespace psmgen::runtime

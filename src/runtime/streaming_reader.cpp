@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/strings.hpp"
+#include "obs/metrics.hpp"
 #include "trace/trace_io.hpp"
 
 namespace psmgen::runtime {
@@ -65,6 +66,15 @@ void StreamingTraceReader::refill() {
   }
   ++refills_;
   peak_ = std::max(peak_, buffer_.size());
+  // Per-refill (not per-row): one counter bump per chunk keeps the
+  // disabled-registry cost off the row-delivery fast path entirely.
+  obs::Registry& reg = obs::metrics();
+  reg.counter("reader.refills").add(1);
+  reg.counter("reader.rows").add(buffer_.size());
+  if (reg.enabled()) {
+    reg.gauge("reader.peak_resident_rows")
+        .set(static_cast<double>(peak_));
+  }
 }
 
 bool StreamingTraceReader::next(std::vector<common::BitVector>& row) {

@@ -16,7 +16,13 @@
 // identical per-instant estimates. `generate` and `estimate` keep the
 // single-shot behaviour; `demo` characterizes one of the paper's
 // benchmark IPs end to end.
+//
+// Output contract: stdout carries pure results only (the instant,power_w
+// CSV of predict/estimate) and is byte-identical across --log-level /
+// --metrics-out / --trace-out settings; every diagnostic goes through
+// the structured logger on stderr (obs/log.hpp).
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +35,7 @@
 #include "core/dot_export.hpp"
 #include "core/flow.hpp"
 #include "ip/ip_factory.hpp"
+#include "obs/obs.hpp"
 #include "power/gate_estimator.hpp"
 #include "runtime/online_predictor.hpp"
 #include "runtime/streaming_reader.hpp"
@@ -53,10 +60,21 @@ int usage() {
       "--eval E.csv [--ref E.pw] [--threads N]\n"
       "  psmgen demo <ram|multsum|aes|camellia> [--threads N]\n"
       "\n"
-      "  --threads N   characterization threads "
+      "  --threads N        characterization threads "
       "(0 = all hardware threads [default], 1 = sequential)\n"
-      "  --chunk N     rows buffered by the streaming predictor "
-      "(default 4096)\n");
+      "  --chunk N          rows buffered by the streaming predictor "
+      "(default 4096)\n"
+      "\n"
+      "observability (stderr/file only; stdout stays pure results):\n"
+      "  --log-level LVL    trace|debug|info|warn|error|off "
+      "(default info)\n"
+      "  --log-json         one JSON object per log line instead of "
+      "key=value\n"
+      "  --quiet            only errors on stderr (same as "
+      "--log-level error)\n"
+      "  --metrics-out F    write the metrics registry as JSON to F\n"
+      "  --trace-out F      write Chrome trace_event JSON to F "
+      "(chrome://tracing, Perfetto)\n");
   return 2;
 }
 
@@ -73,6 +91,13 @@ struct Args {
   bool plain = false;
   unsigned threads = 0;
   std::size_t chunk = 4096;
+  // Observability surface (satellite of the obs layer): never changes
+  // what lands on stdout, only stderr verbosity and the two dump files.
+  std::string log_level;
+  std::string metrics_out;
+  std::string trace_out;
+  bool log_json = false;
+  bool quiet = false;
 };
 
 /// Parses everything after the subcommand. Exactly one pass: every flag
@@ -87,7 +112,7 @@ bool parse(int argc, char** argv, Args& args) {
     auto value = [&](std::string& into) {
       const char* v = next();
       if (!v) {
-        std::fprintf(stderr, "psmgen: %s expects a value\n", flag.c_str());
+        obs::error("cli.flag_needs_value", {{"flag", flag}});
         return false;
       }
       into = v;
@@ -124,12 +149,23 @@ bool parse(int argc, char** argv, Args& args) {
       if (!value(v)) return false;
       const long n = std::atol(v.c_str());
       if (n <= 0) {
-        std::fprintf(stderr, "psmgen: --chunk expects a positive row count\n");
+        obs::error("cli.bad_flag",
+                   {{"flag", flag}, {"why", "expects a positive row count"}});
         return false;
       }
       args.chunk = static_cast<std::size_t>(n);
+    } else if (flag == "--log-level") {
+      if (!value(args.log_level)) return false;
+    } else if (flag == "--metrics-out") {
+      if (!value(args.metrics_out)) return false;
+    } else if (flag == "--trace-out") {
+      if (!value(args.trace_out)) return false;
+    } else if (flag == "--log-json") {
+      args.log_json = true;
+    } else if (flag == "--quiet") {
+      args.quiet = true;
     } else if (!flag.empty() && flag.front() == '-') {
-      std::fprintf(stderr, "psmgen: unknown flag: %s\n", flag.c_str());
+      obs::error("cli.unknown_flag", {{"flag", flag}});
       return false;
     } else {
       args.positional.push_back(flag);
@@ -138,12 +174,32 @@ bool parse(int argc, char** argv, Args& args) {
   return true;
 }
 
+/// Builds the obs configuration from the CLI flags. The CLI default is
+/// info (the historical summaries keep appearing); --quiet drops to
+/// error; --log-level wins over both. Returns false on a bad level name.
+bool configureObservability(const Args& args) {
+  obs::Options opts;
+  opts.log_level = args.quiet ? obs::LogLevel::Error : obs::LogLevel::Info;
+  if (!args.log_level.empty()) {
+    const auto parsed = obs::parseLogLevel(args.log_level);
+    if (!parsed) {
+      obs::error("cli.bad_log_level", {{"value", args.log_level}});
+      return false;
+    }
+    opts.log_level = *parsed;
+  }
+  if (args.log_json) opts.log_format = obs::Logger::Format::Json;
+  opts.metrics_out = args.metrics_out;
+  opts.trace_out = args.trace_out;
+  obs::configure(opts);
+  return true;
+}
+
 bool requireTrainingPairs(const Args& args) {
   if (args.func.empty() || args.func.size() != args.power.size()) {
-    std::fprintf(stderr,
-                 "psmgen: need at least one --func/--power pair (got %zu "
-                 "functional, %zu power)\n",
-                 args.func.size(), args.power.size());
+    obs::error("cli.bad_training_pairs",
+               {{"func", args.func.size()}, {"power", args.power.size()},
+                {"why", "need at least one --func/--power pair"}});
     return false;
   }
   return true;
@@ -151,16 +207,22 @@ bool requireTrainingPairs(const Args& args) {
 
 void summarize(const core::CharacterizationFlow& flow,
                const core::BuildReport& report) {
-  std::fprintf(stderr,
-               "psmgen: %zu atoms, %zu propositions, %zu raw states -> "
-               "%zu states / %zu transitions (%zu refined), %.3f s\n",
-               report.atoms, report.propositions, report.raw_states,
-               report.states, report.transitions, report.refined_states,
-               report.generation_seconds);
+  obs::info("flow.summary",
+            {{"atoms", report.atoms},
+             {"propositions", report.propositions},
+             {"raw_states", report.raw_states},
+             {"states", report.states},
+             {"transitions", report.transitions},
+             {"refined", report.refined_states},
+             {"seconds", report.generation_seconds}});
+  if (!obs::logger().enabled(obs::LogLevel::Info)) return;
   for (const auto& s : flow.psm().states()) {
-    std::fprintf(stderr, "  s%-3d mu=%.6e W sigma=%.3e n=%zu %s\n", s.id,
-                 s.power.mean, s.power.stddev, s.power.n,
-                 s.regression ? "[regression]" : "");
+    obs::info("flow.state",
+              {{"id", s.id},
+               {"mu_w", s.power.mean},
+               {"sigma", s.power.stddev},
+               {"n", s.power.n},
+               {"regression", s.regression.has_value()}});
   }
 }
 
@@ -168,7 +230,7 @@ void writeArtifacts(const core::CharacterizationFlow& flow, const Args& args) {
   if (!args.dot.empty()) {
     std::ofstream os(args.dot);
     core::writeDot(os, flow.psm(), flow.domain());
-    std::fprintf(stderr, "psmgen: wrote %s\n", args.dot.c_str());
+    obs::info("cli.wrote", {{"kind", "dot"}, {"path", args.dot}});
   }
   if (!args.systemc.empty()) {
     core::CodegenOptions opt;
@@ -176,7 +238,7 @@ void writeArtifacts(const core::CharacterizationFlow& flow, const Args& args) {
                            : core::CodegenStyle::SystemC;
     std::ofstream os(args.systemc);
     os << core::generateModel(flow.psm(), flow.domain(), opt);
-    std::fprintf(stderr, "psmgen: wrote %s\n", args.systemc.c_str());
+    obs::info("cli.wrote", {{"kind", "systemc"}, {"path", args.systemc}});
   }
 }
 
@@ -204,18 +266,19 @@ int runGenerate(const Args& args, bool estimate) {
   for (std::size_t t = 0; t < sim.estimate.size(); ++t) {
     std::printf("%zu,%.9e\n", t, sim.estimate[t]);
   }
-  std::fprintf(stderr,
-               "psmgen: %zu instants, WSP %.2f %%, %zu unexpected, "
-               "%zu lost\n",
-               sim.estimate.size(), sim.wspPercent(),
-               sim.unexpected_behaviours, sim.lost_instants);
+  obs::info("estimate.summary",
+            {{"instants", sim.estimate.size()},
+             {"wsp_percent", sim.wspPercent()},
+             {"unexpected", sim.unexpected_behaviours},
+             {"lost", sim.lost_instants}});
   if (!args.ref.empty()) {
     const trace::PowerTrace ref = trace::loadPowerTrace(args.ref);
     std::vector<double> r(ref.samples().begin(),
                           ref.samples().begin() +
                               static_cast<std::ptrdiff_t>(sim.estimate.size()));
-    std::fprintf(stderr, "psmgen: MRE vs reference = %.2f %%\n",
-                 100.0 * trace::meanRelativeError(sim.estimate, r));
+    obs::info("estimate.mre",
+              {{"mre_percent",
+                100.0 * trace::meanRelativeError(sim.estimate, r)}});
   }
   return 0;
 }
@@ -226,21 +289,30 @@ int runTrain(const Args& args) {
   summarize(flow, report);
   writeArtifacts(flow, args);
   serialize::savePsmModel(args.out, flow.psm(), flow.domain());
-  std::fprintf(stderr,
-               "psmgen: wrote model %s (%zu states, %zu transitions, "
-               "%zu propositions)\n",
-               args.out.c_str(), flow.psm().stateCount(),
-               flow.psm().transitionCount(), flow.domain().size());
+  obs::info("train.wrote_model",
+            {{"path", args.out},
+             {"states", flow.psm().stateCount()},
+             {"transitions", flow.psm().transitionCount()},
+             {"propositions", flow.domain().size()}});
   return 0;
 }
 
 int runPredict(const Args& args) {
+  // Cold-load latency (artifact -> servable model) is a first-class
+  // serving metric: it bounds predictor restart time.
+  const auto load0 = std::chrono::steady_clock::now();
   const serialize::PsmModel model = serialize::loadPsmModel(args.psm);
-  std::fprintf(stderr,
-               "psmgen: loaded %s (%zu states, %zu transitions, "
-               "%zu propositions)\n",
-               args.psm.c_str(), model.psm.stateCount(),
-               model.psm.transitionCount(), model.domain.size());
+  const double cold_load_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - load0)
+          .count();
+  obs::metrics().gauge("predict.cold_load_ms").set(cold_load_ms);
+  obs::info("predict.loaded_model",
+            {{"path", args.psm},
+             {"states", model.psm.stateCount()},
+             {"transitions", model.psm.transitionCount()},
+             {"propositions", model.domain.size()},
+             {"cold_load_ms", cold_load_ms}});
 
   // Reference samples are compared online so nothing scales with the
   // evaluation trace: the estimate is printed and folded into the MRE
@@ -263,15 +335,18 @@ int runPredict(const Args& args) {
           ++mre_n;
         }
       });
-  std::fprintf(stderr,
-               "psmgen: %zu instants, WSP %.2f %%, %zu unexpected, %zu lost, "
-               "%zu resyncs, %.0f rows/s (%zu-row chunks, peak buffer %zu)\n",
-               stats.rows, stats.wspPercent(), stats.unexpected_behaviours,
-               stats.lost_instants, stats.resyncs, stats.rowsPerSecond(),
-               args.chunk, reader.peakBufferedRows());
+  obs::info("predict.summary",
+            {{"instants", stats.rows},
+             {"wsp_percent", stats.wspPercent()},
+             {"unexpected", stats.unexpected_behaviours},
+             {"lost", stats.lost_instants},
+             {"resyncs", stats.resyncs},
+             {"rows_per_second", stats.rowsPerSecond()},
+             {"chunk_rows", args.chunk},
+             {"peak_buffered_rows", reader.peakBufferedRows()}});
   if (!args.ref.empty() && mre_n > 0) {
-    std::fprintf(stderr, "psmgen: MRE vs reference = %.2f %%\n",
-                 100.0 * mre_sum / static_cast<double>(mre_n));
+    obs::info("predict.mre",
+              {{"mre_percent", 100.0 * mre_sum / static_cast<double>(mre_n)}});
   }
   return 0;
 }
@@ -287,7 +362,7 @@ int runDemo(const std::string& name, unsigned threads) {
   } else if (name == "camellia") {
     kind = ip::IpKind::Camellia;
   } else {
-    std::fprintf(stderr, "psmgen: unknown demo IP: %s\n", name.c_str());
+    obs::error("cli.unknown_demo_ip", {{"name", name}});
     return usage();
   }
   auto device = ip::makeDevice(kind);
@@ -305,10 +380,41 @@ int runDemo(const std::string& name, unsigned threads) {
   auto tb = ip::makeTestbench(kind, ip::TestsetMode::Long, 0xC11);
   auto eval = estimator.run(*tb, 20000);
   const core::SimResult sim = flow.estimate(eval.functional);
-  std::fprintf(stderr, "psmgen: unseen-workload MRE = %.2f %%\n",
-               100.0 * trace::meanRelativeError(sim.estimate,
-                                                eval.power.samples()));
+  obs::info("demo.mre",
+            {{"ip", name},
+             {"mre_percent",
+              100.0 * trace::meanRelativeError(sim.estimate,
+                                               eval.power.samples())}});
   return 0;
+}
+
+int dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "demo") {
+    if (args.positional.size() != 1) return usage();
+    return runDemo(args.positional.front(), args.threads);
+  }
+  if (!args.positional.empty()) {
+    obs::error("cli.unexpected_argument", {{"arg", args.positional.front()}});
+    return usage();
+  }
+  if (cmd == "generate") {
+    if (!requireTrainingPairs(args)) return usage();
+    return runGenerate(args, /*estimate=*/false);
+  }
+  if (cmd == "estimate") {
+    if (!requireTrainingPairs(args) || args.eval.empty()) return usage();
+    return runGenerate(args, /*estimate=*/true);
+  }
+  if (cmd == "train") {
+    if (!requireTrainingPairs(args) || args.out.empty()) return usage();
+    return runTrain(args);
+  }
+  if (cmd == "predict") {
+    if (args.psm.empty() || args.eval.empty()) return usage();
+    return runPredict(args);
+  }
+  obs::error("cli.unknown_command", {{"command", cmd}});
+  return usage();
 }
 
 }  // namespace
@@ -318,36 +424,16 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   Args args;
   if (!parse(argc, argv, args)) return usage();
+  if (!configureObservability(args)) return usage();
+  int rc = 0;
   try {
-    if (cmd == "demo") {
-      if (args.positional.size() != 1) return usage();
-      return runDemo(args.positional.front(), args.threads);
-    }
-    if (!args.positional.empty()) {
-      std::fprintf(stderr, "psmgen: unexpected argument: %s\n",
-                   args.positional.front().c_str());
-      return usage();
-    }
-    if (cmd == "generate") {
-      if (!requireTrainingPairs(args)) return usage();
-      return runGenerate(args, /*estimate=*/false);
-    }
-    if (cmd == "estimate") {
-      if (!requireTrainingPairs(args) || args.eval.empty()) return usage();
-      return runGenerate(args, /*estimate=*/true);
-    }
-    if (cmd == "train") {
-      if (!requireTrainingPairs(args) || args.out.empty()) return usage();
-      return runTrain(args);
-    }
-    if (cmd == "predict") {
-      if (args.psm.empty() || args.eval.empty()) return usage();
-      return runPredict(args);
-    }
-    std::fprintf(stderr, "psmgen: unknown command: %s\n", cmd.c_str());
+    rc = dispatch(cmd, args);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "psmgen: error: %s\n", e.what());
-    return 1;
+    obs::error("cli.error", {{"what", e.what()}});
+    rc = 1;
   }
-  return usage();
+  // Flush the metrics/trace dumps even on failure — a failed run's
+  // partial metrics are exactly what one debugs with.
+  if (!obs::flushOutputs() && rc == 0) rc = 1;
+  return rc;
 }
