@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Performance-regression gate over bench/table4_prediction output.
+
+The bench emits a JSON array of per-IP entries::
+
+    [{"ip": "RAM", "metrics": {"gauges": {"bench.rows_per_second": N, ...}}}]
+
+The gate compares a committed baseline (BENCH_table4.json at the repo
+root) against one or more fresh candidate runs of the same bench and
+fails when the best candidate throughput for any IP falls more than
+``--tolerance`` (default 25%) below the baseline. Passing several
+candidate runs takes the per-IP maximum, which damps scheduler noise on
+shared CI runners; throughput regressions show up in every run, noise
+does not.
+
+Usage::
+
+    # gate (exit 1 on regression)
+    scripts/perf_gate.py --baseline BENCH_table4.json run1.json run2.json
+
+    # refresh the committed baseline from the best of the given runs
+    scripts/perf_gate.py --baseline BENCH_table4.json --update run1.json
+
+The tolerance can also be set with the PSMGEN_PERF_TOLERANCE environment
+variable (a fraction, e.g. ``0.25``); the command-line flag wins.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_METRIC = "bench.rows_per_second"
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_metric(path, metric):
+    """Returns {ip: value} for `metric` from one table4 JSON file."""
+    with open(path, "r", encoding="utf-8") as f:
+        entries = json.load(f)
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{path}: expected a non-empty JSON array")
+    values = {}
+    for entry in entries:
+        ip = entry["ip"]
+        gauges = entry["metrics"]["gauges"]
+        if metric not in gauges:
+            raise ValueError(f"{path}: entry {ip!r} has no gauge {metric!r}")
+        value = float(gauges[metric])
+        if value <= 0.0:
+            raise ValueError(f"{path}: {ip}.{metric} = {value} (not positive)")
+        values[ip] = value
+    return values
+
+
+def best_of(paths, metric):
+    """Per-IP maximum of `metric` across candidate runs."""
+    best = {}
+    for path in paths:
+        for ip, value in load_metric(path, metric).items():
+            best[ip] = max(best.get(ip, 0.0), value)
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidates", nargs="+",
+                        help="fresh table4_prediction JSON output(s)")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON (e.g. BENCH_table4.json)")
+    parser.add_argument("--metric", default=DEFAULT_METRIC,
+                        help=f"gauge to gate on (default {DEFAULT_METRIC})")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed fractional slowdown (default "
+                             f"{DEFAULT_TOLERANCE}, or PSMGEN_PERF_TOLERANCE)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the best candidate "
+                             "run instead of gating")
+    args = parser.parse_args()
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(os.environ.get("PSMGEN_PERF_TOLERANCE",
+                                         DEFAULT_TOLERANCE))
+    if not 0.0 < tolerance < 1.0:
+        parser.error(f"tolerance must be in (0, 1), got {tolerance}")
+
+    if args.update:
+        # The baseline keeps the full bench output of the fastest run
+        # (per the gated metric, summed over IPs) so future gates and
+        # humans see every gauge, not just the gated one.
+        best_path = max(
+            args.candidates,
+            key=lambda p: sum(load_metric(p, args.metric).values()))
+        with open(best_path, "r", encoding="utf-8") as f:
+            payload = f.read()
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            f.write(payload)
+        print(f"baseline {args.baseline} updated from {best_path}")
+        return 0
+
+    baseline = load_metric(args.baseline, args.metric)
+    candidate = best_of(args.candidates, args.metric)
+
+    missing = sorted(set(baseline) - set(candidate))
+    if missing:
+        print(f"FAIL: candidate runs are missing IPs: {', '.join(missing)}")
+        return 1
+
+    failed = False
+    print(f"perf gate: {args.metric}, tolerance {tolerance:.0%}, "
+          f"best of {len(args.candidates)} run(s)")
+    print(f"{'IP':<10} {'baseline':>14} {'candidate':>14} {'ratio':>8}  verdict")
+    for ip in sorted(baseline):
+        base = baseline[ip]
+        cand = candidate[ip]
+        ratio = cand / base
+        ok = ratio >= 1.0 - tolerance
+        failed = failed or not ok
+        print(f"{ip:<10} {base:>14.0f} {cand:>14.0f} {ratio:>8.2f}  "
+              f"{'ok' if ok else 'REGRESSION'}")
+    if failed:
+        print(f"FAIL: throughput regressed more than {tolerance:.0%} below "
+              f"the committed baseline ({args.baseline}). If the slowdown is "
+              "intended, refresh the baseline with --update.")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

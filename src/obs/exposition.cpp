@@ -1,0 +1,179 @@
+#include "obs/exposition.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace psmgen::obs {
+
+namespace {
+
+void appendNumber(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void appendCount(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+/// Escapes a HELP text: backslash and newline (the spec's two HELP
+/// escapes; quotes are legal there unescaped).
+void appendHelpText(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+/// Pre-rendered `{k="v",...}` block from the const labels; empty string
+/// when there are none. Histogram buckets splice their `le` in instead.
+std::string renderLabelBlock(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    out += sanitizeMetricName(k);
+    out += "=\"";
+    out += escapeLabelValue(v);
+    out += '"';
+    first = false;
+  }
+  out += '}';
+  return out;
+}
+
+/// `le` gets appended after the const labels (order inside the block is
+/// free in the text format).
+std::string renderBucketLabels(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::string& le) {
+  std::string out = "{";
+  for (const auto& [k, v] : labels) {
+    out += sanitizeMetricName(k);
+    out += "=\"";
+    out += escapeLabelValue(v);
+    out += "\",";
+  }
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+void appendFamilyHeader(std::string& out, const std::string& name,
+                        std::string_view dotted, const char* type) {
+  out += "# HELP " + name + " psmgen registry instrument ";
+  appendHelpText(out, dotted);
+  out += '\n';
+  out += "# TYPE " + name + ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+const std::vector<double>& defaultBuckets() {
+  static const std::vector<double> kBuckets = {
+      0.5,  1.0,   2.5,   5.0,   10.0,   25.0,   50.0,
+      100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+  return kBuckets;
+}
+
+std::string sanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string escapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void writePrometheus(std::ostream& os, const Registry& registry,
+                     const PrometheusOptions& options) {
+  const std::vector<double>& bounds =
+      options.buckets.empty() ? defaultBuckets() : options.buckets;
+  const RegistrySnapshot snap = registry.snapshot(bounds);
+  const std::string labels = renderLabelBlock(options.const_labels);
+
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [dotted, value] : snap.counters) {
+    const std::string name =
+        options.prefix + sanitizeMetricName(dotted) + "_total";
+    appendFamilyHeader(out, name, dotted, "counter");
+    out += name + labels + ' ';
+    appendCount(out, value);
+    out += '\n';
+  }
+  for (const auto& [dotted, value] : snap.gauges) {
+    const std::string name = options.prefix + sanitizeMetricName(dotted);
+    appendFamilyHeader(out, name, dotted, "gauge");
+    out += name + labels + ' ';
+    appendNumber(out, value);
+    out += '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string name = options.prefix + sanitizeMetricName(h.name);
+    appendFamilyHeader(out, name, h.name, "histogram");
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      std::string le;
+      appendNumber(le, bounds[b]);
+      out += name + "_bucket" + renderBucketLabels(options.const_labels, le) +
+             ' ';
+      appendCount(out, h.cumulative[b]);
+      out += '\n';
+    }
+    out += name + "_bucket" + renderBucketLabels(options.const_labels, "+Inf") +
+           ' ';
+    appendCount(out, h.stats.count);
+    out += '\n';
+    out += name + "_sum" + labels + ' ';
+    appendNumber(out, h.stats.sum);
+    out += '\n';
+    out += name + "_count" + labels + ' ';
+    appendCount(out, h.stats.count);
+    out += '\n';
+  }
+  os << out;
+}
+
+std::string renderPrometheus(const Registry& registry,
+                             const PrometheusOptions& options) {
+  std::ostringstream os;
+  writePrometheus(os, registry, options);
+  return os.str();
+}
+
+}  // namespace psmgen::obs

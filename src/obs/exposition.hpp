@@ -1,0 +1,63 @@
+#pragma once
+// Prometheus text-format exposition of the metrics registry.
+//
+// Renders a Registry snapshot in the Prometheus text exposition format
+// (version 0.0.4, the format every Prometheus server scrapes):
+//   - counters become `<prefix><name>_total` with `# TYPE ... counter`,
+//   - gauges become `<prefix><name>` with `# TYPE ... gauge`,
+//   - histograms become the `_bucket{le="..."}` / `_sum` / `_count`
+//     triple with cumulative bucket counts; the `le="+Inf"` bucket always
+//     equals `_count` exactly (the registry's histograms cap their sample
+//     buffer, so intermediate buckets cover the buffered prefix while
+//     +Inf stays exact — the sequence is monotone either way).
+//
+// Registry names are dotted (`predict.resync_latency_rows`); Prometheus
+// names must match [a-zA-Z_:][a-zA-Z0-9_:]*, so every invalid character
+// is mapped to '_' and a leading digit gets a '_' prefix. The original
+// dotted name is preserved in the `# HELP` line. Label values are escaped
+// per the spec (backslash, double quote, newline).
+//
+// The renderer works on any Registry (tests use private instances); the
+// serving endpoints scrape the process-global obs::metrics().
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace psmgen::obs {
+
+struct PrometheusOptions {
+  /// Prepended to every metric name (after sanitization of the name).
+  std::string prefix = "psmgen_";
+  /// Labels attached to every sample, e.g. {{"model", "ram.psm"}}.
+  /// Names are sanitized, values escaped.
+  std::vector<std::pair<std::string, std::string>> const_labels;
+  /// Histogram bucket upper bounds (sorted ascending; +Inf is implicit).
+  /// Empty selects defaultBuckets().
+  std::vector<double> buckets;
+};
+
+/// The default histogram bucket bounds: a 1-2.5-5 decade ladder wide
+/// enough for both row counts (resync latency) and millisecond timings.
+const std::vector<double>& defaultBuckets();
+
+/// Maps a registry name onto the Prometheus name charset:
+/// [a-zA-Z0-9_:] with a non-digit first character.
+std::string sanitizeMetricName(std::string_view name);
+
+/// Escapes a label value per the text format: \ -> \\, " -> \", and
+/// newline -> \n.
+std::string escapeLabelValue(std::string_view value);
+
+/// Renders `registry` in Prometheus text format. An empty registry
+/// renders to an empty document (valid: zero metric families).
+void writePrometheus(std::ostream& os, const Registry& registry,
+                     const PrometheusOptions& options = {});
+std::string renderPrometheus(const Registry& registry,
+                             const PrometheusOptions& options = {});
+
+}  // namespace psmgen::obs

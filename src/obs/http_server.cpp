@@ -1,0 +1,187 @@
+#include "obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace psmgen::obs {
+
+namespace {
+
+/// Hard cap on the request head we are willing to buffer; a scrape
+/// request is a few hundred bytes, anything larger is abuse.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+bool sendAll(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* HttpServer::reasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(const std::string& path, Handler handler) {
+  routes_[path] = std::move(handler);
+}
+
+bool HttpServer::listen(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error("http.socket_failed", {{"errno", std::strerror(errno)}});
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    error("http.bind_failed",
+          {{"port", port}, {"errno", std::strerror(errno)}});
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  return true;
+}
+
+void HttpServer::start() {
+  if (listen_fd_ < 0 || running()) return;
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { acceptLoop(); });
+  info("http.serving", {{"port", port_}});
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  // Unblocks the accept() in the loop thread.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::acceptLoop() {
+  while (running()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down by stop()
+    }
+    serveConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::serveConnection(int fd) {
+  // A slow or dead client must not wedge the accept loop forever.
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  std::string head;
+  char buf[1024];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (head.empty()) return;  // client connected and went away
+      break;
+    }
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+
+  metrics().counter("http.requests").add(1);
+  Response response;
+  std::string method;
+  std::string path;
+  const std::size_t line_end = head.find("\r\n");
+  const std::size_t sp1 = head.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : head.find(' ', sp1 + 1);
+  if (line_end == std::string::npos || sp1 == std::string::npos ||
+      sp2 == std::string::npos || sp2 > line_end) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else {
+    method = head.substr(0, sp1);
+    path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    if (method != "GET" && method != "HEAD") {
+      response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    } else {
+      const auto it = routes_.find(path);
+      if (it == routes_.end()) {
+        response = {404, "text/plain; charset=utf-8", "not found\n"};
+      } else {
+        try {
+          response = it->second(path);
+        } catch (const std::exception& e) {
+          error("http.handler_failed", {{"path", path}, {"what", e.what()}});
+          response = {500, "text/plain; charset=utf-8",
+                      "internal server error\n"};
+        }
+      }
+    }
+  }
+  if (response.status != 200) metrics().counter("http.errors").add(1);
+  debug("http.request",
+        {{"method", method}, {"path", path}, {"status", response.status}});
+
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + ' ' +
+                    reasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (response.status == 405) out += "Allow: GET, HEAD\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (method != "HEAD") out += response.body;
+  sendAll(fd, out.data(), out.size());
+}
+
+}  // namespace psmgen::obs

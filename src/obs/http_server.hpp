@@ -1,0 +1,81 @@
+#pragma once
+// Minimal dependency-free HTTP/1.1 server for the observability
+// endpoints (`/metrics`, `/healthz`, `/readyz`, `/buildinfo`).
+//
+// Scope is deliberately tiny: loopback-only by default, blocking accept
+// loop on one background thread, one connection served at a time,
+// `Connection: close` on every response. That is exactly what a
+// Prometheus scrape or a k8s probe needs and nothing a real ingress
+// would want — this is an exposition surface, not a web framework.
+//
+// Routes are exact path matches registered before start(); GET and HEAD
+// are the only accepted methods (anything else is 405), an unregistered
+// path is 404, a garbled request line is 400, and a handler that throws
+// turns into 500 — the serving loop never propagates exceptions into the
+// predictor thread. Handlers run on the server thread, so anything they
+// touch (the metrics registry, the quality monitor) must be thread-safe
+// against the feed thread; both are.
+//
+// listen(0) binds an ephemeral port (reported by port()) — tests and
+// `psmgen serve --port 0 --port-file F` use that to avoid collisions.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace psmgen::obs {
+
+class HttpServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  /// Receives the request path (query string already stripped).
+  using Handler = std::function<Response(const std::string& path)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers an exact-match route. Not thread-safe against a running
+  /// server: register everything before start().
+  void handle(const std::string& path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts listening.
+  /// Returns false after an error log when the socket cannot be set up.
+  bool listen(std::uint16_t port);
+
+  /// The bound port (resolves listen(0)); 0 before a successful listen().
+  std::uint16_t port() const { return port_; }
+
+  /// Spawns the accept loop on a background thread. listen() must have
+  /// succeeded first.
+  void start();
+
+  /// Stops accepting, closes the socket and joins the thread. Idempotent;
+  /// also run by the destructor.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  static const char* reasonPhrase(int status);
+
+ private:
+  void acceptLoop();
+  void serveConnection(int fd);
+
+  std::map<std::string, Handler> routes_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace psmgen::obs

@@ -1,5 +1,6 @@
 #include "obs/log.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cmath>
@@ -159,6 +160,35 @@ void Logger::log(LogLevel level, std::string_view event,
 Logger& logger() {
   static Logger instance;
   return instance;
+}
+
+RateLimiter::RateLimiter(double tokens_per_second, double burst)
+    : rate_(tokens_per_second), burst_(burst), tokens_(burst) {}
+
+RateLimiter::Decision RateLimiter::tick() {
+  return tickAt(std::chrono::duration<double>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count());
+}
+
+RateLimiter::Decision RateLimiter::tickAt(double now_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (primed_) {
+    const double elapsed = now_seconds - last_;
+    if (elapsed > 0.0) {
+      tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    }
+  }
+  primed_ = true;
+  last_ = now_seconds;
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    Decision d{true, suppressed_};
+    suppressed_ = 0;
+    return d;
+  }
+  ++suppressed_;
+  return {false, 0};
 }
 
 }  // namespace psmgen::obs

@@ -113,6 +113,47 @@ class Logger {
 /// The process-global logger.
 Logger& logger();
 
+/// Token-bucket limiter for per-call-site log throttling. The intended
+/// idiom is one function-local static per call site:
+///
+///   static obs::RateLimiter limiter(/*tokens_per_second=*/1.0,
+///                                   /*burst=*/5.0);
+///   if (const auto d = limiter.tick(); d.allowed) {
+///     obs::warn("predict.resync", {..., {"suppressed", d.suppressed}});
+///   }
+///
+/// The bucket starts full (a burst of `burst` lines passes immediately)
+/// and refills at `tokens_per_second`; while it is empty, tick() counts
+/// the drops and hands the tally to the next allowed line so a log
+/// reader can see how much was elided. A drifting stream that resyncs
+/// thousands of times per second therefore produces at most
+/// `tokens_per_second` warn lines — never a log storm.
+class RateLimiter {
+ public:
+  struct Decision {
+    bool allowed = false;
+    /// Calls dropped since the previous allowed one (0 on a drop).
+    std::uint64_t suppressed = 0;
+  };
+
+  RateLimiter(double tokens_per_second, double burst);
+
+  /// Charges the bucket against the steady clock.
+  Decision tick();
+  /// Deterministic variant for tests: `now_seconds` on any monotone
+  /// timebase (calls must not go backwards).
+  Decision tickAt(double now_seconds);
+
+ private:
+  std::mutex mutex_;
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_ = 0.0;
+  bool primed_ = false;
+  std::uint64_t suppressed_ = 0;
+};
+
 inline void debug(std::string_view event,
                   std::initializer_list<LogField> fields = {}) {
   logger().log(LogLevel::Debug, event, fields);

@@ -66,6 +66,23 @@ double Histogram::quantile(double q) const {
   return quantileLocked(q, scratch);
 }
 
+std::vector<std::uint64_t> Histogram::cumulativeBuckets(
+    const std::vector<double>& upper_bounds) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint64_t> out(upper_bounds.size(), 0);
+  for (const double v : samples_) {
+    for (std::size_t b = 0; b < upper_bounds.size(); ++b) {
+      if (v <= upper_bounds[b]) {
+        ++out[b];
+        break;
+      }
+    }
+  }
+  // Prefix-sum the per-bucket tallies into cumulative counts.
+  for (std::size_t b = 1; b < out.size(); ++b) out[b] += out[b - 1];
+  return out;
+}
+
 HistogramSnapshot Histogram::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   HistogramSnapshot s;
@@ -185,6 +202,27 @@ void Registry::writeJson(std::ostream& os) const {
   }
   out += first ? "}\n}\n" : "\n  }\n}\n";
   os << out;
+}
+
+RegistrySnapshot Registry::snapshot(
+    const std::vector<double>& histogram_bounds) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    RegistrySnapshot::HistogramEntry e;
+    e.name = name;
+    e.stats = h->snapshot();
+    if (!histogram_bounds.empty()) {
+      e.cumulative = h->cumulativeBuckets(histogram_bounds);
+    }
+    s.histograms.push_back(std::move(e));
+  }
+  return s;
 }
 
 Registry& metrics() {

@@ -92,6 +92,15 @@ class Histogram {
 
   HistogramSnapshot snapshot() const;
 
+  /// Cumulative counts of samples <= each upper bound (bounds must be
+  /// sorted ascending), computed over the buffered samples. The caller's
+  /// implicit +Inf bucket is the exact total count() — which can exceed
+  /// the last finite bucket past the kMaxSamples buffer cap, never the
+  /// other way round, so the full sequence including +Inf stays monotone
+  /// (Prometheus histogram semantics).
+  std::vector<std::uint64_t> cumulativeBuckets(
+      const std::vector<double>& upper_bounds) const;
+
  private:
   friend class Registry;
   explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
@@ -104,6 +113,22 @@ class Histogram {
   double max_ = 0.0;
   std::vector<double> samples_;
   const std::atomic<bool>* enabled_;
+};
+
+/// A point-in-time copy of every instrument, names sorted. Decouples
+/// exporters (JSON dump, Prometheus exposition) from the registry's
+/// locking: take one snapshot, render with no lock held.
+struct RegistrySnapshot {
+  struct HistogramEntry {
+    std::string name;
+    HistogramSnapshot stats;
+    /// Cumulative counts parallel to the bounds passed to snapshot();
+    /// empty when no bounds were requested.
+    std::vector<std::uint64_t> cumulative;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramEntry> histograms;
 };
 
 class Registry {
@@ -133,6 +158,11 @@ class Registry {
   ///                            "max": .., "mean": .., "p50": ..,
   ///                            "p95": ..}, ...}}
   void writeJson(std::ostream& os) const;
+
+  /// Copies every instrument; `histogram_bounds` (sorted ascending) also
+  /// fills each histogram entry's cumulative bucket counts.
+  RegistrySnapshot snapshot(
+      const std::vector<double>& histogram_bounds = {}) const;
 
  private:
   mutable std::mutex mutex_;  ///< guards the three maps

@@ -1,6 +1,8 @@
 #include "obs/obs.hpp"
 
+#include <cstdio>
 #include <fstream>
+#include <functional>
 #include <utility>
 
 namespace psmgen::obs {
@@ -9,6 +11,37 @@ namespace {
 Options& storedOptions() {
   static Options options;
   return options;
+}
+
+/// Atomic file replacement: the content lands in `<path>.tmp` first and
+/// is renamed over `path` only once fully written, so a crash mid-dump or
+/// a concurrent reader (a scraper polling --metrics-out) never observes a
+/// torn JSON file — rename(2) is atomic on POSIX within a filesystem.
+bool writeFileAtomic(const std::string& path,
+                     const std::function<void(std::ostream&)>& writer,
+                     const char* what) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      error("obs.dump_open_failed", {{"kind", what}, {"path", tmp}});
+      return false;
+    }
+    writer(os);
+    os.flush();
+    if (!os) {
+      error("obs.dump_write_failed", {{"kind", what}, {"path", tmp}});
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    error("obs.dump_rename_failed",
+          {{"kind", what}, {"from", tmp}, {"to", path}});
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 }  // namespace
 
@@ -29,23 +62,21 @@ bool flushOutputs() {
   const Options& options = storedOptions();
   bool ok = true;
   if (!options.metrics_out.empty()) {
-    std::ofstream os(options.metrics_out);
-    if (os) {
-      metrics().writeJson(os);
+    if (writeFileAtomic(
+            options.metrics_out,
+            [](std::ostream& os) { metrics().writeJson(os); }, "metrics")) {
       info("obs.metrics_written", {{"path", options.metrics_out}});
     } else {
-      error("obs.metrics_write_failed", {{"path", options.metrics_out}});
       ok = false;
     }
   }
   if (!options.trace_out.empty()) {
-    std::ofstream os(options.trace_out);
-    if (os) {
-      tracer().writeJson(os);
+    if (writeFileAtomic(
+            options.trace_out,
+            [](std::ostream& os) { tracer().writeJson(os); }, "trace")) {
       info("obs.trace_written", {{"path", options.trace_out},
                                  {"events", tracer().eventCount()}});
     } else {
-      error("obs.trace_write_failed", {{"path", options.trace_out}});
       ok = false;
     }
   }

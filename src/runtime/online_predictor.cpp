@@ -69,6 +69,18 @@ double OnlinePredictor::predictRow(const std::vector<common::BitVector>& row) {
       // Resync latency: instants spent desynchronized before this
       // recovery (the paper's "until a known behaviour is recognised").
       c.resync_latency.record(static_cast<double>(lost_streak_));
+      // A resync is worth a warn line, but a stream drifting off the
+      // trained workload resyncs continuously — the token bucket caps
+      // this call site at ~1 line/s and reports what it elided.
+      static obs::RateLimiter resync_warn_limiter(/*tokens_per_second=*/1.0,
+                                                  /*burst=*/5.0);
+      if (const auto d = resync_warn_limiter.tick(); d.allowed) {
+        obs::warn("predict.resync",
+                  {{"row", stats_.rows},
+                   {"lost_rows", lost_streak_},
+                   {"resyncs", stats_.resyncs},
+                   {"suppressed", d.suppressed}});
+      }
     }
     ever_synced_ = true;
     lost_streak_ = 0;

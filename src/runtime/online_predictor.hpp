@@ -75,6 +75,15 @@ class OnlinePredictor {
   const PredictorStats& stats() const { return stats_; }
   const core::PsmSimulator& simulator() const { return sim_; }
 
+  /// The state the current stream's session sits in (kNoState before the
+  /// first recognition). Read-only view for monitoring (QualityMonitor's
+  /// per-state occupancy and power-residual tracking).
+  core::StateId currentState() const {
+    return session_ ? session_->currentState() : core::kNoState;
+  }
+  /// True while the stream is desynchronized from the model.
+  bool isLost() const { return !session_ || session_->isLost(); }
+
   /// Streams every row of `reader` through a fresh stream; `sink` (may be
   /// empty) receives (row index, estimate) as rows are consumed — nothing
   /// is accumulated, so memory stays bounded by the reader's chunk size.

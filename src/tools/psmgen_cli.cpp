@@ -22,22 +22,29 @@
 // --metrics-out / --trace-out settings; every diagnostic goes through
 // the structured logger on stderr (obs/log.hpp).
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/build_info.hpp"
 #include "core/codegen.hpp"
 #include "core/dot_export.hpp"
 #include "core/flow.hpp"
 #include "ip/ip_factory.hpp"
+#include "obs/exposition.hpp"
+#include "obs/http_server.hpp"
 #include "obs/obs.hpp"
 #include "power/gate_estimator.hpp"
 #include "runtime/online_predictor.hpp"
+#include "runtime/quality_monitor.hpp"
 #include "runtime/streaming_reader.hpp"
 #include "serialize/psm_artifact.hpp"
 #include "trace/trace_io.hpp"
@@ -54,16 +61,35 @@ int usage() {
       "[--dot out.dot] [--systemc out.cpp] [--plain] [--threads N]\n"
       "  psmgen predict  --psm model.psm --eval E.csv [--ref E.pw] "
       "[--chunk N]\n"
+      "  psmgen serve    --psm model.psm [--eval E.csv] [--ref E.pw] "
+      "[--port N] [--port-file F]\n"
+      "                  [--window N] [--drift-wsp PCT] [--drift-z Z] "
+      "[--linger-ms N] [--chunk N]\n"
       "  psmgen generate --func F.csv --power F.pw [...] "
       "[--dot out.dot] [--systemc out.cpp] [--plain] [--threads N]\n"
       "  psmgen estimate --func F.csv --power F.pw [...] "
       "--eval E.csv [--ref E.pw] [--threads N]\n"
       "  psmgen demo <ram|multsum|aes|camellia> [--threads N]\n"
+      "  psmgen --version\n"
       "\n"
       "  --threads N        characterization threads "
       "(0 = all hardware threads [default], 1 = sequential)\n"
       "  --chunk N          rows buffered by the streaming predictor "
       "(default 4096)\n"
+      "\n"
+      "serve (reads trace rows from --eval or stdin; estimates go to "
+      "stdout as with predict,\nwhile a second thread serves GET "
+      "/metrics /healthz /readyz /buildinfo on 127.0.0.1):\n"
+      "  --port N           HTTP port (default 9464; 0 = ephemeral)\n"
+      "  --port-file F      write the bound port to F (for --port 0)\n"
+      "  --window N         drift-detection sliding window rows "
+      "(default 2048)\n"
+      "  --drift-wsp PCT    windowed WSP %% that flips /readyz to 503 "
+      "(default 35; degraded at half)\n"
+      "  --drift-z Z        power-residual EWMA z-score that flips "
+      "/readyz to 503 (default 6; degraded at half)\n"
+      "  --linger-ms N      keep serving N ms after the input stream "
+      "ends (default 0)\n"
       "\n"
       "observability (stderr/file only; stdout stays pure results):\n"
       "  --log-level LVL    trace|debug|info|warn|error|off "
@@ -91,6 +117,13 @@ struct Args {
   bool plain = false;
   unsigned threads = 0;
   std::size_t chunk = 4096;
+  // serve endpoint surface.
+  int port = 9464;
+  std::string port_file;
+  std::size_t window = 2048;
+  double drift_wsp = 35.0;
+  double drift_z = 6.0;
+  long linger_ms = 0;
   // Observability surface (satellite of the obs layer): never changes
   // what lands on stdout, only stderr verbosity and the two dump files.
   std::string log_level;
@@ -154,6 +187,55 @@ bool parse(int argc, char** argv, Args& args) {
         return false;
       }
       args.chunk = static_cast<std::size_t>(n);
+    } else if (flag == "--port") {
+      std::string v;
+      if (!value(v)) return false;
+      const long n = std::atol(v.c_str());
+      if (n < 0 || n > 65535) {
+        obs::error("cli.bad_flag",
+                   {{"flag", flag}, {"why", "expects a port in [0, 65535]"}});
+        return false;
+      }
+      args.port = static_cast<int>(n);
+    } else if (flag == "--port-file") {
+      if (!value(args.port_file)) return false;
+    } else if (flag == "--window") {
+      std::string v;
+      if (!value(v)) return false;
+      const long n = std::atol(v.c_str());
+      if (n <= 0) {
+        obs::error("cli.bad_flag",
+                   {{"flag", flag}, {"why", "expects a positive row count"}});
+        return false;
+      }
+      args.window = static_cast<std::size_t>(n);
+    } else if (flag == "--drift-wsp") {
+      std::string v;
+      if (!value(v)) return false;
+      args.drift_wsp = std::atof(v.c_str());
+      if (args.drift_wsp <= 0.0) {
+        obs::error("cli.bad_flag",
+                   {{"flag", flag}, {"why", "expects a positive percentage"}});
+        return false;
+      }
+    } else if (flag == "--drift-z") {
+      std::string v;
+      if (!value(v)) return false;
+      args.drift_z = std::atof(v.c_str());
+      if (args.drift_z <= 0.0) {
+        obs::error("cli.bad_flag",
+                   {{"flag", flag}, {"why", "expects a positive z-score"}});
+        return false;
+      }
+    } else if (flag == "--linger-ms") {
+      std::string v;
+      if (!value(v)) return false;
+      args.linger_ms = std::atol(v.c_str());
+      if (args.linger_ms < 0) {
+        obs::error("cli.bad_flag",
+                   {{"flag", flag}, {"why", "expects milliseconds >= 0"}});
+        return false;
+      }
     } else if (flag == "--log-level") {
       if (!value(args.log_level)) return false;
     } else if (flag == "--metrics-out") {
@@ -324,10 +406,14 @@ int runPredict(const Args& args) {
   double mre_sum = 0.0;
   std::size_t mre_n = 0;
 
+  // The quality monitor rides along read-only: the estimate CSV on
+  // stdout is byte-identical with or without it, and the windowed drift
+  // gauges land in --metrics-out for free.
   runtime::StreamingTraceReader reader(args.eval, {args.chunk});
   runtime::OnlinePredictor predictor(model);
+  runtime::QualityMonitor monitor(predictor, model.psm);
   std::printf("instant,power_w\n");
-  const runtime::PredictorStats stats = predictor.predictStream(
+  const runtime::PredictorStats stats = monitor.predictStream(
       reader, [&](std::size_t t, double estimate) {
         std::printf("%zu,%.9e\n", t, estimate);
         if (t < ref.size() && ref[t] != 0.0) {
@@ -343,11 +429,155 @@ int runPredict(const Args& args) {
              {"resyncs", stats.resyncs},
              {"rows_per_second", stats.rowsPerSecond()},
              {"chunk_rows", args.chunk},
-             {"peak_buffered_rows", reader.peakBufferedRows()}});
+             {"peak_buffered_rows", reader.peakBufferedRows()},
+             {"quality_status",
+              runtime::driftStatusName(monitor.status())}});
   if (!args.ref.empty() && mre_n > 0) {
     obs::info("predict.mre",
               {{"mre_percent", 100.0 * mre_sum / static_cast<double>(mre_n)}});
   }
+  return 0;
+}
+
+void appendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+/// The /buildinfo payload: build identity plus the loaded artifact's
+/// format version and shape, so a scrape can tell *which* model a
+/// drifting instance is serving.
+std::string buildInfoJson(const std::string& model_path,
+                          const serialize::PsmModel& model) {
+  std::string out = "{\"name\": \"psmgen\", \"version\": ";
+  appendJsonString(out, common::kVersion);
+  out += ", \"git_sha\": ";
+  appendJsonString(out, common::kGitSha);
+  out += ", \"build_type\": ";
+  appendJsonString(out, common::kBuildType);
+  out += ", \"psm_format_version\": " +
+         std::to_string(serialize::kFormatVersion);
+  out += ", \"model\": {\"path\": ";
+  appendJsonString(out, model_path);
+  out += ", \"states\": " + std::to_string(model.psm.stateCount());
+  out += ", \"transitions\": " + std::to_string(model.psm.transitionCount());
+  out += ", \"propositions\": " + std::to_string(model.domain.size());
+  out += "}}\n";
+  return out;
+}
+
+int printVersion() {
+  std::printf("psmgen %s (git %s, %s, psm-format v%u)\n", common::kVersion,
+              common::kGitSha, common::kBuildType, serialize::kFormatVersion);
+  return 0;
+}
+
+int runServe(const Args& args) {
+  const auto load0 = std::chrono::steady_clock::now();
+  const serialize::PsmModel model = serialize::loadPsmModel(args.psm);
+  const double cold_load_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - load0)
+          .count();
+  // /metrics is the point of serve: the registry runs enabled regardless
+  // of --metrics-out (results on stdout stay byte-identical either way).
+  obs::metrics().setEnabled(true);
+  obs::metrics().gauge("predict.cold_load_ms").set(cold_load_ms);
+  obs::info("serve.loaded_model",
+            {{"path", args.psm},
+             {"states", model.psm.stateCount()},
+             {"transitions", model.psm.transitionCount()},
+             {"propositions", model.domain.size()},
+             {"cold_load_ms", cold_load_ms}});
+
+  std::vector<double> ref;
+  if (!args.ref.empty()) {
+    ref = trace::loadPowerTrace(args.ref).samples();
+  }
+
+  std::unique_ptr<runtime::StreamingTraceReader> reader;
+  if (!args.eval.empty()) {
+    reader = std::make_unique<runtime::StreamingTraceReader>(
+        args.eval, runtime::StreamingTraceReader::Options{args.chunk});
+  } else {
+    reader = std::make_unique<runtime::StreamingTraceReader>(
+        std::cin, runtime::StreamingTraceReader::Options{args.chunk});
+  }
+
+  runtime::OnlinePredictor predictor(model);
+  runtime::QualityMonitorConfig qconfig;
+  qconfig.window_rows = args.window;
+  qconfig.min_rows = std::min(qconfig.min_rows, args.window);
+  qconfig.wsp_drifted_percent = args.drift_wsp;
+  qconfig.wsp_degraded_percent = args.drift_wsp / 2.0;
+  qconfig.residual_drifted_z = args.drift_z;
+  qconfig.residual_degraded_z = args.drift_z / 2.0;
+  runtime::QualityMonitor monitor(predictor, model.psm, qconfig);
+
+  obs::HttpServer server;
+  const std::string model_label = args.psm;
+  server.handle("/metrics", [model_label](const std::string&) {
+    obs::PrometheusOptions options;
+    options.const_labels = {{"model", model_label}};
+    return obs::HttpServer::Response{
+        200, "text/plain; version=0.0.4; charset=utf-8",
+        obs::renderPrometheus(obs::metrics(), options)};
+  });
+  server.handle("/healthz", [](const std::string&) {
+    return obs::HttpServer::Response{200, "text/plain; charset=utf-8",
+                                     "ok\n"};
+  });
+  server.handle("/readyz", [&monitor](const std::string&) {
+    return runtime::readyzResponse(monitor);
+  });
+  const std::string buildinfo = buildInfoJson(args.psm, model);
+  server.handle("/buildinfo", [buildinfo](const std::string&) {
+    return obs::HttpServer::Response{200, "application/json", buildinfo};
+  });
+  if (!server.listen(static_cast<std::uint16_t>(args.port))) return 1;
+  server.start();
+  if (!args.port_file.empty()) {
+    std::ofstream os(args.port_file);
+    os << server.port() << '\n';
+    if (!os) {
+      obs::error("serve.port_file_failed", {{"path", args.port_file}});
+      return 1;
+    }
+  }
+
+  // Feed thread (this one): rows in, estimates out — the same stdout
+  // contract as predict, while the server thread answers scrapes.
+  std::printf("instant,power_w\n");
+  std::vector<common::BitVector> row;
+  std::size_t t = 0;
+  while (reader->next(row)) {
+    const double estimate = t < ref.size()
+                                ? monitor.predictRow(row, ref[t])
+                                : monitor.predictRow(row);
+    std::printf("%zu,%.9e\n", t, estimate);
+    ++t;
+  }
+  const runtime::PredictorStats& stats = predictor.stats();
+  obs::metrics().gauge("predict.wsp_percent").set(stats.wspPercent());
+  obs::metrics().gauge("predict.rows_per_second").set(stats.rowsPerSecond());
+  obs::info("serve.summary",
+            {{"instants", stats.rows},
+             {"wsp_percent", stats.wspPercent()},
+             {"resyncs", stats.resyncs},
+             {"lost", stats.lost_instants},
+             {"rows_per_second", stats.rowsPerSecond()},
+             {"quality_status", runtime::driftStatusName(monitor.status())},
+             {"port", server.port()}});
+  if (args.linger_ms > 0) {
+    std::fflush(stdout);
+    obs::info("serve.linger", {{"ms", args.linger_ms}});
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.linger_ms));
+  }
+  server.stop();
   return 0;
 }
 
@@ -413,6 +643,10 @@ int dispatch(const std::string& cmd, const Args& args) {
     if (args.psm.empty() || args.eval.empty()) return usage();
     return runPredict(args);
   }
+  if (cmd == "serve") {
+    if (args.psm.empty()) return usage();
+    return runServe(args);
+  }
   obs::error("cli.unknown_command", {{"command", cmd}});
   return usage();
 }
@@ -422,6 +656,7 @@ int dispatch(const std::string& cmd, const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "--version" || cmd == "version") return printVersion();
   Args args;
   if (!parse(argc, argv, args)) return usage();
   if (!configureObservability(args)) return usage();

@@ -1,0 +1,176 @@
+// Tests of the blocking loopback HTTP/1.1 server (obs/http_server.hpp)
+// through a raw socket client: routing, method handling, query
+// stripping, error mapping, and the ephemeral-port contract.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "obs/http_server.hpp"
+
+namespace psmgen {
+namespace {
+
+/// Sends one raw request to 127.0.0.1:`port` and returns the full
+/// response (the server closes every connection, so read-until-EOF is
+/// the framing). Empty string on connect failure.
+std::string rawRequest(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& target,
+                const std::string& method = "GET") {
+  return rawRequest(port, method + " " + target +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n");
+}
+
+int statusOf(const std::string& response) {
+  if (response.rfind("HTTP/1.1 ", 0) != 0) return -1;
+  return std::atoi(response.c_str() + 9);
+}
+
+std::string bodyOf(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+/// A server with the routes every test shares, bound to an ephemeral
+/// port and started.
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.handle("/healthz",
+                   [](const std::string&) -> obs::HttpServer::Response {
+                     return {200, "text/plain; charset=utf-8", "ok\n"};
+                   });
+    server_.handle("/echo-path",
+                   [](const std::string& path) -> obs::HttpServer::Response {
+                     return {200, "text/plain; charset=utf-8", path + "\n"};
+                   });
+    server_.handle("/boom",
+                   [](const std::string&) -> obs::HttpServer::Response {
+                     throw std::runtime_error("handler exploded");
+                   });
+    ASSERT_TRUE(server_.listen(0));
+    ASSERT_NE(server_.port(), 0) << "listen(0) must resolve a real port";
+    server_.start();
+  }
+
+  void TearDown() override { server_.stop(); }
+
+  obs::HttpServer server_;
+};
+
+TEST_F(HttpServerTest, ServesRegisteredRoute) {
+  const std::string response = get(server_.port(), "/healthz");
+  EXPECT_EQ(statusOf(response), 200);
+  EXPECT_EQ(bodyOf(response), "ok\n");
+  EXPECT_NE(response.find("Content-Type: text/plain; charset=utf-8"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 3"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, UnknownPathIs404) {
+  EXPECT_EQ(statusOf(get(server_.port(), "/nope")), 404);
+}
+
+TEST_F(HttpServerTest, PostIs405WithAllowHeader) {
+  const std::string response = get(server_.port(), "/healthz", "POST");
+  EXPECT_EQ(statusOf(response), 405);
+  EXPECT_NE(response.find("Allow: GET, HEAD"), std::string::npos) << response;
+}
+
+TEST_F(HttpServerTest, HeadReturnsHeadersWithoutBody) {
+  const std::string response = get(server_.port(), "/healthz", "HEAD");
+  EXPECT_EQ(statusOf(response), 200);
+  EXPECT_NE(response.find("Content-Length: 3"), std::string::npos)
+      << response;
+  EXPECT_EQ(bodyOf(response), "");
+}
+
+TEST_F(HttpServerTest, QueryStringIsStrippedBeforeDispatch) {
+  const std::string response =
+      get(server_.port(), "/echo-path?format=prometheus&x=1");
+  EXPECT_EQ(statusOf(response), 200);
+  EXPECT_EQ(bodyOf(response), "/echo-path\n");
+}
+
+TEST_F(HttpServerTest, ThrowingHandlerIs500) {
+  const std::string response = get(server_.port(), "/boom");
+  EXPECT_EQ(statusOf(response), 500);
+  // The server must survive the throw and keep serving.
+  EXPECT_EQ(statusOf(get(server_.port(), "/healthz")), 200);
+}
+
+TEST_F(HttpServerTest, GarbledRequestLineIs400) {
+  const std::string response =
+      rawRequest(server_.port(), "NOT-HTTP\r\n\r\n");
+  EXPECT_EQ(statusOf(response), 400);
+}
+
+TEST_F(HttpServerTest, ServesSequentialConnections) {
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(statusOf(get(server_.port(), "/healthz")), 200) << i;
+  }
+}
+
+TEST(HttpServer, StopIsIdempotentAndStopsServing) {
+  obs::HttpServer server;
+  server.handle("/healthz",
+                [](const std::string&) -> obs::HttpServer::Response {
+                  return {200, "text/plain; charset=utf-8", "ok\n"};
+                });
+  ASSERT_TRUE(server.listen(0));
+  server.start();
+  const std::uint16_t port = server.port();
+  EXPECT_TRUE(server.running());
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(get(port, "/healthz"), "");
+}
+
+TEST(HttpServer, ReasonPhrases) {
+  EXPECT_STREQ(obs::HttpServer::reasonPhrase(200), "OK");
+  EXPECT_STREQ(obs::HttpServer::reasonPhrase(404), "Not Found");
+  EXPECT_STREQ(obs::HttpServer::reasonPhrase(503), "Service Unavailable");
+  EXPECT_STREQ(obs::HttpServer::reasonPhrase(599), "Unknown");
+}
+
+}  // namespace
+}  // namespace psmgen

@@ -422,5 +422,76 @@ TEST(ObsEndToEnd, InstrumentationDoesNotChangeResults) {
   EXPECT_TRUE(plain == instrumented);
 }
 
+// ---------------------------------------------------------- rate limiting
+
+TEST(RateLimiter, BurstThenThrottleThenRefill) {
+  // 1 token/s, burst of 2, driven on a deterministic clock.
+  obs::RateLimiter limiter(1.0, 2.0);
+  EXPECT_TRUE(limiter.tickAt(0.0).allowed);   // burst token 1
+  EXPECT_TRUE(limiter.tickAt(0.0).allowed);   // burst token 2
+  EXPECT_FALSE(limiter.tickAt(0.0).allowed);  // bucket empty
+  EXPECT_FALSE(limiter.tickAt(0.5).allowed);  // only half a token back
+  const auto refilled = limiter.tickAt(1.1);  // > 1 token refilled
+  EXPECT_TRUE(refilled.allowed);
+  // The two drops were counted and handed to the first allowed call.
+  EXPECT_EQ(refilled.suppressed, 2u);
+  EXPECT_EQ(limiter.tickAt(1.1).suppressed, 0u);  // tally was consumed
+}
+
+TEST(RateLimiter, RefillClampsAtBurst) {
+  obs::RateLimiter limiter(10.0, 3.0);
+  ASSERT_TRUE(limiter.tickAt(0.0).allowed);
+  // A long quiet period must not bank more than `burst` tokens.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(limiter.tickAt(100.0).allowed) << i;
+  }
+  EXPECT_FALSE(limiter.tickAt(100.0).allowed);
+}
+
+TEST(RateLimiter, SuppressedCountAccumulatesAcrossDrops) {
+  obs::RateLimiter limiter(1.0, 1.0);
+  ASSERT_TRUE(limiter.tickAt(0.0).allowed);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_FALSE(limiter.tickAt(0.1).allowed);
+  }
+  EXPECT_EQ(limiter.tickAt(2.0).suppressed, 25u);
+}
+
+// ----------------------------------------------------------- atomic dumps
+
+TEST(ObsEndToEnd, FlushWritesAtomicallyAndLeavesNoTempFile) {
+  const std::string metrics_path =
+      ::testing::TempDir() + "/obs_metrics_atomic.json";
+  obs::Options opts;
+  opts.metrics_out = metrics_path;
+  obs::configure(opts);
+  obs::metrics().counter("predict.rows").add(5);
+
+  ASSERT_TRUE(obs::flushOutputs());
+  const std::string json = slurp(metrics_path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(jsonShapeValid(json)) << json;
+  // The staging file was renamed over the target, not left behind.
+  std::ifstream tmp(metrics_path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+
+  // A second flush atomically replaces the previous dump.
+  obs::metrics().counter("predict.rows").add(1);
+  ASSERT_TRUE(obs::flushOutputs());
+  EXPECT_NE(slurp(metrics_path), json);
+
+  obs::configure(obs::Options{});
+  std::remove(metrics_path.c_str());
+}
+
+TEST(ObsEndToEnd, FlushReportsFailureOnUnwritablePath) {
+  obs::Options opts;
+  opts.metrics_out =
+      ::testing::TempDir() + "/no_such_dir_psmgen/metrics.json";
+  obs::configure(opts);
+  EXPECT_FALSE(obs::flushOutputs());
+  obs::configure(obs::Options{});
+}
+
 }  // namespace
 }  // namespace psmgen
