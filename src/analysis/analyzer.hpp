@@ -1,0 +1,85 @@
+#pragma once
+// Static analyzer over trained PSM models — the engine behind the
+// `psmgen lint` CLI verb and the in-process `train --lint` hook.
+//
+// The pipeline trains, serializes and serves PSM model artifacts, but a
+// mined model can be semantically malformed long before it misbehaves at
+// runtime: transition-probability rows that no longer sum to 1,
+// unreachable or dead states left behind by a buggy join, degenerate
+// <mu, sigma, n> power attributes, regression refinements with
+// non-finite coefficients, or broken `p U q` / `p X q` assertions
+// (paper Secs. III-B / IV). lintModel() evaluates a fixed registry of
+// semantic checks over an in-memory model; lintArtifact() additionally
+// folds artifact-level failures (bad magic, truncation, checksum or
+// stored-vs-rederived HMM mismatches — serialize::FormatErrorCode) into
+// the same report, so one gate covers both the bytes and the semantics.
+//
+// Reports render as human text and as machine JSON (schema
+// "psmgen.lint.v1"); gateExitCode() defines the CI contract:
+//   0 — no error findings (no warn findings either under werror)
+//   1 — the gate tripped
+// (the CLI reserves 2 for usage errors). Check ids are suppressible
+// individually (LintOptions::suppress) so a fleet can acknowledge a
+// known-benign finding without turning the gate off.
+
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "core/proposition.hpp"
+#include "core/psm.hpp"
+#include "serialize/psm_artifact.hpp"
+
+namespace psmgen::analysis {
+
+struct LintOptions {
+  /// Tolerance for probability row sums (|sum - 1| <= epsilon).
+  double epsilon = 1e-9;
+  /// Check ids whose findings are dropped from the report entirely.
+  std::vector<std::string> suppress;
+  /// Warnings trip the gate too (exit-code policy only; the report
+  /// itself is unaffected).
+  bool werror = false;
+};
+
+/// One registry entry: the stable id, the severity its findings carry,
+/// and a one-line summary for the documentation table.
+struct CheckInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+/// The full check catalogue in report order. Stable: ids are never
+/// reused or renumbered; new checks append within their family.
+const std::vector<CheckInfo>& checkRegistry();
+
+/// Registry entry for an id; nullptr when the id is unknown (used by
+/// the CLI to reject typoed --suppress values).
+const CheckInfo* findCheck(const std::string& id);
+
+/// Lints an in-memory model (domain + PSM). Never throws on model
+/// content: every defect becomes a finding.
+LintReport lintModel(const core::Psm& psm,
+                     const core::PropositionDomain& domain,
+                     const LintOptions& options = {});
+
+/// Loads `path` and lints it. Artifact-level failures (any
+/// serialize::FormatError, including unreadable files) map to
+/// PSM-ART-* findings instead of propagating, so the caller always
+/// gets a report.
+LintReport lintArtifact(const std::string& path,
+                        const LintOptions& options = {});
+
+/// Human-readable report; `subject` labels the model (path or "<memory>").
+std::string renderText(const LintReport& report, const std::string& subject);
+
+/// Machine report, schema "psmgen.lint.v1", key order fixed (golden
+/// tests compare the exact bytes).
+std::string renderJson(const LintReport& report, const std::string& subject);
+
+/// CI contract: 1 when errors are present (or warnings under werror),
+/// else 0.
+int gateExitCode(const LintReport& report, const LintOptions& options);
+
+}  // namespace psmgen::analysis

@@ -1,0 +1,18 @@
+#pragma once
+// Internal interface between the analyzer driver and the semantic
+// checks (see analyzer.hpp for the public API). Split out so the check
+// implementations stay a leaf translation unit: checks.cpp knows the
+// model shapes, analyzer.cpp knows reports, suppression and rendering.
+
+#include "analysis/analyzer.hpp"
+
+namespace psmgen::analysis::detail {
+
+/// Runs every semantic (non-artifact) check over the model, appending
+/// findings in deterministic registry order. Suppression is applied by
+/// the caller.
+void runModelChecks(const core::Psm& psm,
+                    const core::PropositionDomain& domain,
+                    const LintOptions& options, LintReport& report);
+
+}  // namespace psmgen::analysis::detail

@@ -1,0 +1,25 @@
+#include "analysis/finding.hpp"
+
+#include <utility>
+
+namespace psmgen::analysis {
+
+const char* severityName(Severity severity) {
+  switch (severity) {
+    case Severity::Info: return "info";
+    case Severity::Warn: return "warn";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+
+void LintReport::add(Finding finding) {
+  switch (finding.severity) {
+    case Severity::Error: ++errors; break;
+    case Severity::Warn: ++warnings; break;
+    case Severity::Info: ++infos; break;
+  }
+  findings.push_back(std::move(finding));
+}
+
+}  // namespace psmgen::analysis

@@ -1,0 +1,69 @@
+#pragma once
+// Findings produced by the PSM model static analyzer (`psmgen lint`).
+//
+// A finding is one violation of a semantic well-formedness rule over a
+// trained PSM model (or over the artifact that carries it), identified
+// by a stable check id like "PSM-TRANS-001". Ids never change meaning
+// once shipped: suppressions (`--suppress`), CI gates and dashboards
+// key on them. The full catalogue lives in analysis::checkRegistry()
+// and is documented in README.md / DESIGN.md.
+//
+// Severity semantics:
+//   Error — the model is semantically broken; predict/serve over it is
+//           undefined or silently wrong. CI gates fail on these.
+//   Warn  — suspicious but servable (e.g. a power attribute pooled from
+//           a single sample); escalated to the gate by --werror.
+//   Info  — structural observations (sink states, HMM-resolved
+//           nondeterminism) that are normal for mined PSMs but worth
+//           surfacing in a report.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/psm.hpp"
+
+namespace psmgen::analysis {
+
+enum class Severity { Info = 0, Warn = 1, Error = 2 };
+
+/// Stable lowercase name ("info", "warn", "error").
+const char* severityName(Severity severity);
+
+/// Where in the model a finding anchors. All fields are optional — the
+/// renderers omit the unset ones — so artifact-level findings (which
+/// have no state to point at) and state-level findings share one shape.
+struct Locus {
+  core::StateId state = core::kNoState;
+  int alt = -1;         ///< assertion alternative index within the state
+  int transition = -1;  ///< index into Psm::transitions()
+  std::string detail;   ///< free-form anchor, e.g. the artifact field name
+
+  bool operator==(const Locus&) const = default;
+};
+
+struct Finding {
+  std::string check_id;  ///< stable id, e.g. "PSM-TRANS-001"
+  Severity severity = Severity::Error;
+  Locus locus;
+  std::string message;  ///< what is wrong, with the offending values
+  std::string hint;     ///< how to fix it / what it implies downstream
+
+  bool operator==(const Finding&) const = default;
+};
+
+/// The result of one lint run: findings in deterministic scan order
+/// plus the per-severity tally the exit-code policy is defined over.
+struct LintReport {
+  std::vector<Finding> findings;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+
+  void add(Finding finding);
+
+  /// No error-severity findings (warnings and infos allowed).
+  bool clean() const { return errors == 0; }
+};
+
+}  // namespace psmgen::analysis

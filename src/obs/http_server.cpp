@@ -54,37 +54,35 @@ void HttpServer::handle(const std::string& path, Handler handler) {
 }
 
 bool HttpServer::listen(std::uint16_t port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     error("http.socket_failed", {{"errno", std::strerror(errno)}});
     return false;
   }
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) < 0 ||
-      ::listen(listen_fd_, 16) < 0) {
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
     error("http.bind_failed",
           {{"port", port}, {"errno", std::strerror(errno)}});
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return false;
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
-      0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
     port_ = ntohs(bound.sin_port);
   }
+  listen_fd_.store(fd, std::memory_order_release);
   return true;
 }
 
 void HttpServer::start() {
-  if (listen_fd_ < 0 || running()) return;
+  if (listen_fd_.load(std::memory_order_acquire) < 0 || running()) return;
   running_.store(true, std::memory_order_relaxed);
   thread_ = std::thread([this] { acceptLoop(); });
   info("http.serving", {{"port", port_}});
@@ -92,22 +90,25 @@ void HttpServer::start() {
 
 void HttpServer::stop() {
   if (!running_.exchange(false, std::memory_order_relaxed)) {
-    if (listen_fd_ >= 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
+    const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) ::close(fd);
     return;
   }
-  // Unblocks the accept() in the loop thread.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  // Claim the fd before touching it so the loop thread can never observe
+  // a closed-and-reused descriptor; shutdown() unblocks its accept().
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
   if (thread_.joinable()) thread_.join();
 }
 
 void HttpServer::acceptLoop() {
   while (running()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;  // stop() already reclaimed the socket
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listen socket shut down by stop()

@@ -72,7 +72,10 @@ class HttpServer {
   void serveConnection(int fd);
 
   std::map<std::string, Handler> routes_;
-  int listen_fd_ = -1;
+  // Written by listen()/stop() on the controlling thread and read by the
+  // accept loop thread; atomic so stop() tearing the socket down does not
+  // race the loop's next accept() (ThreadSanitizer flags the plain int).
+  std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread thread_;

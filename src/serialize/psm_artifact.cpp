@@ -14,8 +14,19 @@ namespace {
 
 constexpr char kMagic[8] = {'P', 'S', 'M', 'M', 'O', 'D', 'E', 'L'};
 
-[[noreturn]] void fail(const std::string& what) {
-  throw FormatError("psm artifact: " + what);
+/// Renders the canonical message and throws. Every failure path funnels
+/// through here so the code/field/offset triple is never dropped.
+[[noreturn]] void fail(FormatErrorCode code, const std::string& field,
+                       std::size_t offset, const std::string& what) {
+  std::string message = "psm artifact: " + what;
+  message += " [code=";
+  message += formatErrorCodeName(code);
+  if (!field.empty()) message += ", field=" + field;
+  if (offset != FormatError::kNoOffset) {
+    message += ", offset=" + std::to_string(offset);
+  }
+  message += ']';
+  throw FormatError(code, field, offset, message);
 }
 
 // --- encoding ------------------------------------------------------------
@@ -96,8 +107,8 @@ class Decoder {
       for (unsigned b = 0; b < 64; ++b) {
         if (!((limb >> b) & 1u)) continue;
         if (base + b >= width) {
-          fail(std::string(what) + ": bit vector has bits set beyond width " +
-               std::to_string(width));
+          bad(what, std::string(what) + ": bit vector has bits set beyond "
+                                        "width " + std::to_string(width));
         }
         v.setBit(base + b, true);
       }
@@ -108,11 +119,19 @@ class Decoder {
   bool done() const { return pos_ == data_.size(); }
   std::size_t offset() const { return pos_; }
 
+  /// Semantic failure at the current decode position (the field decoded,
+  /// but its value is invalid).
+  [[noreturn]] void bad(const std::string& field,
+                        const std::string& what) const {
+    fail(FormatErrorCode::BadField, field, pos_, what);
+  }
+
  private:
   void need(std::size_t n, const char* what) {
     if (data_.size() - pos_ < n) {
-      fail("truncated payload at byte " + std::to_string(pos_) +
-           " while reading " + what);
+      fail(FormatErrorCode::Truncated, what, pos_,
+           "truncated payload at byte " + std::to_string(pos_) +
+               " while reading " + what);
     }
   }
 
@@ -135,15 +154,16 @@ core::Pattern decodePattern(Decoder& dec, std::size_t prop_count) {
   const auto check = [&](core::PropId id, const char* which) {
     if (id != core::kNoProp &&
         (id < 0 || static_cast<std::size_t>(id) >= prop_count)) {
-      fail(std::string("pattern ") + which + " proposition id " +
-           std::to_string(id) + " out of range (domain has " +
-           std::to_string(prop_count) + " propositions)");
+      dec.bad(std::string("pattern ") + which + " proposition",
+              std::string("pattern ") + which + " proposition id " +
+                  std::to_string(id) + " out of range (domain has " +
+                  std::to_string(prop_count) + " propositions)");
     }
   };
   check(p.p, "entry");
   check(p.q, "exit");
   const std::uint8_t is_until = dec.u8("pattern kind");
-  if (is_until > 1) fail("bad pattern kind byte");
+  if (is_until > 1) dec.bad("pattern kind", "bad pattern kind byte");
   p.is_until = is_until == 1;
   return p;
 }
@@ -187,12 +207,14 @@ core::PropositionDomain decodeDomain(Decoder& dec) {
     const std::string name = dec.str("variable name");
     const std::uint32_t width = dec.u32("variable width");
     const std::uint8_t kind = dec.u8("variable kind");
-    if (kind > 1) fail("bad variable kind byte for '" + name + "'");
+    if (kind > 1) {
+      dec.bad("variable kind", "bad variable kind byte for '" + name + "'");
+    }
     try {
       vars.add(name, width,
                kind == 0 ? trace::VarKind::Input : trace::VarKind::Output);
     } catch (const std::invalid_argument& e) {
-      fail(e.what());
+      dec.bad("variable name", e.what());
     }
   }
   const std::uint32_t atom_count = dec.u32("atom count");
@@ -202,17 +224,19 @@ core::PropositionDomain decodeDomain(Decoder& dec) {
     core::AtomicProposition a;
     a.lhs = dec.i32("atom lhs variable");
     if (a.lhs < 0 || static_cast<std::uint32_t>(a.lhs) >= var_count) {
-      fail("atom " + std::to_string(i) + " references variable " +
-           std::to_string(a.lhs) + " outside the " +
-           std::to_string(var_count) + "-variable set");
+      dec.bad("atom lhs variable",
+              "atom " + std::to_string(i) + " references variable " +
+                  std::to_string(a.lhs) + " outside the " +
+                  std::to_string(var_count) + "-variable set");
     }
     const std::uint8_t op = dec.u8("atom operator");
-    if (op > 1) fail("bad atom operator byte");
+    if (op > 1) dec.bad("atom operator", "bad atom operator byte");
     a.op = op == 0 ? core::CmpOp::Eq : core::CmpOp::Gt;
     a.rhs_var = dec.i32("atom rhs variable");
     if (a.rhs_var != -1 &&
         (a.rhs_var < 0 || static_cast<std::uint32_t>(a.rhs_var) >= var_count)) {
-      fail("atom " + std::to_string(i) + " rhs variable out of range");
+      dec.bad("atom rhs variable",
+              "atom " + std::to_string(i) + " rhs variable out of range");
     }
     a.rhs_const = dec.bits("atom rhs constant");
     atoms.push_back(std::move(a));
@@ -222,9 +246,10 @@ core::PropositionDomain decodeDomain(Decoder& dec) {
   for (std::uint32_t i = 0; i < prop_count; ++i) {
     const std::uint32_t nbits = dec.u32("signature bit count");
     if (nbits != atom_count) {
-      fail("signature " + std::to_string(i) + " has " + std::to_string(nbits) +
-           " bits but the domain has " + std::to_string(atom_count) +
-           " atoms");
+      dec.bad("signature bit count",
+              "signature " + std::to_string(i) + " has " +
+                  std::to_string(nbits) + " bits but the domain has " +
+                  std::to_string(atom_count) + " atoms");
     }
     std::vector<bool> truths(nbits, false);
     std::uint8_t byte = 0;
@@ -234,11 +259,12 @@ core::PropositionDomain decodeDomain(Decoder& dec) {
     }
     const core::Signature sig(truths);
     if (domain.find(sig) != core::kNoProp) {
-      fail("duplicate proposition signature at id " + std::to_string(i));
+      dec.bad("proposition signature",
+              "duplicate proposition signature at id " + std::to_string(i));
     }
     const core::PropId id = domain.intern(sig);
     if (id != static_cast<core::PropId>(i)) {
-      fail("proposition ids are not dense");
+      dec.bad("proposition id", "proposition ids are not dense");
     }
   }
   return domain;
@@ -294,8 +320,9 @@ core::Psm decodePsm(Decoder& dec, std::size_t prop_count) {
   for (std::uint32_t i = 0; i < state_count; ++i) {
     const std::int32_t id = dec.i32("state id");
     if (id != static_cast<std::int32_t>(i)) {
-      fail("state ids are not dense (state " + std::to_string(i) +
-           " declares id " + std::to_string(id) + ")");
+      dec.bad("state id", "state ids are not dense (state " +
+                              std::to_string(i) + " declares id " +
+                              std::to_string(id) + ")");
     }
     core::PowerState s;
     const std::uint32_t alt_count = dec.u32("assertion alternative count");
@@ -311,9 +338,10 @@ core::Psm decodePsm(Decoder& dec, std::size_t prop_count) {
     }
     const std::uint32_t counts_size = dec.u32("alternative multiplicities");
     if (counts_size != 0 && counts_size != alt_count) {
-      fail("state " + std::to_string(i) + " has " +
-           std::to_string(counts_size) + " multiplicities for " +
-           std::to_string(alt_count) + " alternatives");
+      dec.bad("alternative multiplicities",
+              "state " + std::to_string(i) + " has " +
+                  std::to_string(counts_size) + " multiplicities for " +
+                  std::to_string(alt_count) + " alternatives");
     }
     s.assertion.counts.reserve(counts_size);
     for (std::uint32_t c = 0; c < counts_size; ++c) {
@@ -334,7 +362,9 @@ core::Psm decodePsm(Decoder& dec, std::size_t prop_count) {
       s.intervals.push_back(iv);
     }
     const std::uint8_t has_regression = dec.u8("regression flag");
-    if (has_regression > 1) fail("bad regression flag byte");
+    if (has_regression > 1) {
+      dec.bad("regression flag", "bad regression flag byte");
+    }
     if (has_regression == 1) {
       stats::LinearFit fit;
       fit.intercept = dec.f64("regression intercept");
@@ -345,7 +375,7 @@ core::Psm decodePsm(Decoder& dec, std::size_t prop_count) {
       s.regression = fit;
     }
     const std::uint8_t scope = dec.u8("regression scope");
-    if (scope > 1) fail("bad regression scope byte");
+    if (scope > 1) dec.bad("regression scope", "bad regression scope byte");
     s.regression_scope =
         scope == 0 ? core::HammingScope::Inputs : core::HammingScope::Interface;
     s.initial_count = dec.u64("initial count");
@@ -359,16 +389,19 @@ core::Psm decodePsm(Decoder& dec, std::size_t prop_count) {
     t.enabling = dec.i32("transition enabling proposition");
     if (t.enabling != core::kNoProp &&
         (t.enabling < 0 || static_cast<std::size_t>(t.enabling) >= prop_count)) {
-      fail("transition " + std::to_string(i) +
-           " enabling proposition out of range");
+      dec.bad("transition enabling proposition",
+              "transition " + std::to_string(i) +
+                  " enabling proposition out of range");
     }
     t.count = dec.u64("transition multiplicity");
     try {
       psm.addTransition(t);
     } catch (const std::invalid_argument&) {
-      fail("transition " + std::to_string(i) + " (" + std::to_string(t.from) +
-           " -> " + std::to_string(t.to) + ") references a state outside the " +
-           std::to_string(state_count) + "-state PSM");
+      dec.bad("transition endpoints",
+              "transition " + std::to_string(i) + " (" +
+                  std::to_string(t.from) + " -> " + std::to_string(t.to) +
+                  ") references a state outside the " +
+                  std::to_string(state_count) + "-state PSM");
     }
   }
   const std::uint32_t initials_count = dec.u32("initial state count");
@@ -377,7 +410,8 @@ core::Psm decodePsm(Decoder& dec, std::size_t prop_count) {
     try {
       psm.addInitial(s);
     } catch (const std::invalid_argument&) {
-      fail("initial state id " + std::to_string(s) + " out of range");
+      dec.bad("initial state id",
+              "initial state id " + std::to_string(s) + " out of range");
     }
   }
   return psm;
@@ -422,14 +456,20 @@ void encodeHmm(Encoder& enc, const core::Hmm& hmm) {
 /// or an incompatible producer, never a tolerable drift.
 void decodeAndVerifyHmm(Decoder& dec, const core::Hmm& derived,
                         std::size_t prop_count) {
+  const auto mismatch = [&dec](const std::string& field,
+                               const std::string& what) {
+    fail(FormatErrorCode::HmmMismatch, field, dec.offset(), what);
+  };
   const std::uint32_t n = dec.u32("hmm state count");
   if (n != derived.stateCount()) {
-    fail("hmm state count " + std::to_string(n) + " does not match the " +
-         std::to_string(derived.stateCount()) + "-state PSM");
+    mismatch("hmm state count",
+             "hmm state count " + std::to_string(n) + " does not match the " +
+                 std::to_string(derived.stateCount()) + "-state PSM");
   }
   const std::uint32_t event_count = dec.u32("hmm event count");
   if (event_count != derived.eventCount()) {
-    fail("hmm event count does not match the PSM's assertion set");
+    mismatch("hmm event count",
+             "hmm event count does not match the PSM's assertion set");
   }
   for (std::uint32_t e = 0; e < event_count; ++e) {
     const std::uint32_t pat_count = dec.u32("hmm event length");
@@ -439,8 +479,8 @@ void decodeAndVerifyHmm(Decoder& dec, const core::Hmm& derived,
       seq.push_back(decodePattern(dec, prop_count));
     }
     if (!(seq == derived.event(static_cast<core::EventId>(e)))) {
-      fail("hmm event " + std::to_string(e) +
-           " does not match the PSM's assertion set");
+      mismatch("hmm event", "hmm event " + std::to_string(e) +
+                                " does not match the PSM's assertion set");
     }
   }
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -448,15 +488,17 @@ void decodeAndVerifyHmm(Decoder& dec, const core::Hmm& derived,
       if (dec.f64("hmm transition probability") !=
           derived.a(static_cast<core::StateId>(i),
                     static_cast<core::StateId>(j))) {
-        fail("hmm transition matrix does not match the PSM (corrupted "
-             "artifact or incompatible producer)");
+        mismatch("hmm transition probability",
+                 "hmm transition matrix does not match the PSM (corrupted "
+                 "artifact or incompatible producer)");
       }
     }
   }
   for (std::uint32_t i = 0; i < n; ++i) {
     if (dec.f64("hmm initial probability") !=
         derived.pi(static_cast<core::StateId>(i))) {
-      fail("hmm initial distribution does not match the PSM");
+      mismatch("hmm initial probability",
+               "hmm initial distribution does not match the PSM");
     }
   }
   for (std::uint32_t j = 0; j < n; ++j) {
@@ -468,20 +510,44 @@ void decodeAndVerifyHmm(Decoder& dec, const core::Hmm& derived,
     }
     const std::uint32_t entries = dec.u32("hmm emission row size");
     if (entries != expected.size()) {
-      fail("hmm emission row " + std::to_string(j) + " does not match the PSM");
+      mismatch("hmm emission row size",
+               "hmm emission row " + std::to_string(j) +
+                   " does not match the PSM");
     }
     for (std::uint32_t k = 0; k < entries; ++k) {
       const core::EventId e = dec.i32("hmm emission event");
       const double p = dec.f64("hmm emission probability");
       if (e != expected[k].first || p != expected[k].second) {
-        fail("hmm emission row " + std::to_string(j) +
-             " does not match the PSM");
+        mismatch("hmm emission row",
+                 "hmm emission row " + std::to_string(j) +
+                     " does not match the PSM");
       }
     }
   }
 }
 
 }  // namespace
+
+const char* formatErrorCodeName(FormatErrorCode code) {
+  switch (code) {
+    case FormatErrorCode::Io: return "io";
+    case FormatErrorCode::BadMagic: return "bad_magic";
+    case FormatErrorCode::UnsupportedVersion: return "unsupported_version";
+    case FormatErrorCode::Truncated: return "truncated";
+    case FormatErrorCode::ChecksumMismatch: return "checksum_mismatch";
+    case FormatErrorCode::BadField: return "bad_field";
+    case FormatErrorCode::HmmMismatch: return "hmm_mismatch";
+    case FormatErrorCode::TrailingData: return "trailing_data";
+  }
+  return "unknown";
+}
+
+FormatError::FormatError(FormatErrorCode code, std::string field,
+                         std::size_t offset, const std::string& message)
+    : std::runtime_error(message),
+      code_(code),
+      field_(std::move(field)),
+      offset_(offset) {}
 
 std::uint64_t fnv1a(const void* data, std::size_t size) {
   const auto* bytes = static_cast<const unsigned char*>(data);
@@ -512,51 +578,66 @@ void writePsmModel(std::ostream& os, const core::Psm& psm,
   footer.u64(fnv1a(payload.data(), payload.size()));
   os.write(footer.buffer().data(),
            static_cast<std::streamsize>(footer.buffer().size()));
-  if (!os) throw std::runtime_error("psm artifact: write failed");
+  if (!os) {
+    fail(FormatErrorCode::Io, "", FormatError::kNoOffset, "write failed");
+  }
 }
 
 PsmModel readPsmModel(std::istream& is) {
   char magic[sizeof kMagic] = {};
   is.read(magic, sizeof magic);
   if (is.gcount() != sizeof magic) {
-    fail("truncated artifact: missing magic");
+    fail(FormatErrorCode::Truncated, "magic", FormatError::kNoOffset,
+         "truncated artifact: missing magic");
   }
   if (std::char_traits<char>::compare(magic, kMagic, sizeof kMagic) != 0) {
-    fail("bad magic: not a psmgen model artifact");
+    fail(FormatErrorCode::BadMagic, "magic", FormatError::kNoOffset,
+         "bad magic: not a psmgen model artifact");
   }
   char fixed[12] = {};
   is.read(fixed, sizeof fixed);
   if (is.gcount() != sizeof fixed) {
-    fail("truncated artifact: missing version/length header");
+    fail(FormatErrorCode::Truncated, "version/length header",
+         FormatError::kNoOffset,
+         "truncated artifact: missing version/length header");
   }
   const std::string fixed_str(fixed, sizeof fixed);
   Decoder header(fixed_str);
   const std::uint32_t version = header.u32("format version");
   if (version != kFormatVersion) {
-    fail("unsupported format version " + std::to_string(version) +
-         " (this build reads version " + std::to_string(kFormatVersion) + ")");
+    fail(FormatErrorCode::UnsupportedVersion, "format version",
+         FormatError::kNoOffset,
+         "unsupported format version " + std::to_string(version) +
+             " (this build reads version " + std::to_string(kFormatVersion) +
+             ")");
   }
   const std::uint64_t length = header.u64("payload length");
   constexpr std::uint64_t kMaxPayload = 1ull << 32;
   if (length > kMaxPayload) {
-    fail("implausible payload length " + std::to_string(length));
+    fail(FormatErrorCode::BadField, "payload length", FormatError::kNoOffset,
+         "implausible payload length " + std::to_string(length));
   }
   std::string payload(length, '\0');
   is.read(payload.data(), static_cast<std::streamsize>(length));
   if (static_cast<std::uint64_t>(is.gcount()) != length) {
-    fail("truncated artifact: payload declares " + std::to_string(length) +
-         " bytes but only " + std::to_string(is.gcount()) + " are present");
+    fail(FormatErrorCode::Truncated, "payload",
+         static_cast<std::size_t>(is.gcount()),
+         "truncated artifact: payload declares " + std::to_string(length) +
+             " bytes but only " + std::to_string(is.gcount()) +
+             " are present");
   }
   char hash_bytes[8] = {};
   is.read(hash_bytes, sizeof hash_bytes);
   if (is.gcount() != sizeof hash_bytes) {
-    fail("truncated artifact: missing checksum");
+    fail(FormatErrorCode::Truncated, "checksum", FormatError::kNoOffset,
+         "truncated artifact: missing checksum");
   }
   const std::string hash_str(hash_bytes, sizeof hash_bytes);
   Decoder hash_dec(hash_str);
   const std::uint64_t stored_hash = hash_dec.u64("checksum");
   if (stored_hash != fnv1a(payload.data(), payload.size())) {
-    fail("checksum mismatch: artifact is corrupted");
+    fail(FormatErrorCode::ChecksumMismatch, "checksum",
+         FormatError::kNoOffset, "checksum mismatch: artifact is corrupted");
   }
 
   Decoder dec(payload);
@@ -564,9 +645,10 @@ PsmModel readPsmModel(std::istream& is) {
   core::Psm psm = decodePsm(dec, domain.size());
   decodeAndVerifyHmm(dec, core::Hmm(psm), domain.size());
   if (!dec.done()) {
-    fail("trailing garbage: " +
-         std::to_string(payload.size() - dec.offset()) +
-         " unread bytes after the hmm section");
+    fail(FormatErrorCode::TrailingData, "payload tail", dec.offset(),
+         "trailing garbage: " +
+             std::to_string(payload.size() - dec.offset()) +
+             " unread bytes after the hmm section");
   }
   return PsmModel{std::move(domain), std::move(psm)};
 }
@@ -574,16 +656,24 @@ PsmModel readPsmModel(std::istream& is) {
 void savePsmModel(const std::string& path, const core::Psm& psm,
                   const core::PropositionDomain& domain) {
   std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("psm artifact: cannot open " + path);
+  if (!os) {
+    fail(FormatErrorCode::Io, "", FormatError::kNoOffset,
+         "cannot open " + path);
+  }
   writePsmModel(os, psm, domain);
 }
 
 PsmModel loadPsmModel(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("psm artifact: cannot open " + path);
+  if (!is) {
+    fail(FormatErrorCode::Io, "", FormatError::kNoOffset,
+         "cannot open " + path);
+  }
   PsmModel model = readPsmModel(is);
   if (is.peek() != std::char_traits<char>::eof()) {
-    fail("trailing bytes after the artifact in " + path);
+    fail(FormatErrorCode::TrailingData, "artifact tail",
+         FormatError::kNoOffset,
+         "trailing bytes after the artifact in " + path);
   }
   return model;
 }

@@ -48,10 +48,44 @@ namespace psmgen::serialize {
 
 inline constexpr std::uint32_t kFormatVersion = 1;
 
+/// Structured classification of artifact failures. Consumers (the CLI,
+/// `psmgen lint`'s artifact checks) branch on the code instead of
+/// substring-matching the message.
+enum class FormatErrorCode {
+  Io = 0,              ///< the file cannot be opened / written
+  BadMagic,            ///< not a psmgen model artifact at all
+  UnsupportedVersion,  ///< produced by an incompatible format version
+  Truncated,           ///< ran out of bytes mid-field
+  ChecksumMismatch,    ///< FNV-1a over the payload does not match
+  BadField,            ///< a field decoded to a semantically invalid value
+  HmmMismatch,         ///< stored HMM params differ from the re-derived ones
+  TrailingData,        ///< unread bytes after the last section
+};
+
+/// Stable lower-snake name of a code ("truncated", "bad_field", ...).
+const char* formatErrorCodeName(FormatErrorCode code);
+
 /// Raised on any malformed, truncated, or version-mismatched artifact.
+/// Carries the failing field name and the payload byte offset at which
+/// decoding stopped (kNoOffset when the failure is not positional, e.g.
+/// a bad magic or an I/O error), in addition to the rendered message.
 class FormatError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  static constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
+
+  FormatError(FormatErrorCode code, std::string field, std::size_t offset,
+              const std::string& message);
+
+  FormatErrorCode code() const { return code_; }
+  /// The field being decoded when the failure hit; empty when unknown.
+  const std::string& field() const { return field_; }
+  /// Payload byte offset of the failure; kNoOffset when not positional.
+  std::size_t offset() const { return offset_; }
+
+ private:
+  FormatErrorCode code_;
+  std::string field_;
+  std::size_t offset_;
 };
 
 /// A loaded model: the proposition domain plus the PSM defined over it.
@@ -70,7 +104,8 @@ void writePsmModel(std::ostream& os, const core::Psm& psm,
 PsmModel readPsmModel(std::istream& is);
 
 /// File-path wrappers (binary mode); throw FormatError on parse errors
-/// and std::runtime_error on plain I/O failure.
+/// and FormatError with FormatErrorCode::Io when the file cannot be
+/// opened.
 void savePsmModel(const std::string& path, const core::Psm& psm,
                   const core::PropositionDomain& domain);
 PsmModel loadPsmModel(const std::string& path);

@@ -1,8 +1,9 @@
 // psmgen — command-line front end for the characterization flow.
 //
 // Usage:
-//   psmgen train    --func F.csv --power F.pw [...] --out model.psm
+//   psmgen train    --func F.csv --power F.pw [...] --out model.psm [--lint]
 //   psmgen predict  --psm model.psm --eval E.csv [--ref E.pw] [--chunk N]
+//   psmgen lint     --psm model.psm [--json] [--werror] [--suppress ID]
 //   psmgen generate --func F.csv --power F.pw [...]
 //                   [--dot out.dot] [--systemc out.cpp] [--plain]
 //   psmgen estimate --func train.csv --power train.pw [...]
@@ -13,9 +14,12 @@
 // artifact; `predict` loads the artifact and streams an evaluation trace
 // through the online predictor in bounded memory — together they split
 // the fused `estimate` into a train-once / serve-many workflow with
-// identical per-instant estimates. `generate` and `estimate` keep the
-// single-shot behaviour; `demo` characterizes one of the paper's
-// benchmark IPs end to end.
+// identical per-instant estimates. `lint` statically analyzes a model
+// artifact (or, via `train --lint`, the freshly mined model in-process)
+// against the semantic check registry in src/analysis and exits 0/1/2 so
+// CI can gate on it. `generate` and `estimate` keep the single-shot
+// behaviour; `demo` characterizes one of the paper's benchmark IPs end
+// to end.
 //
 // Output contract: stdout carries pure results only (the instant,power_w
 // CSV of predict/estimate) and is byte-identical across --log-level /
@@ -34,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "common/build_info.hpp"
 #include "core/codegen.hpp"
 #include "core/dot_export.hpp"
@@ -61,6 +66,8 @@ int usage() {
       "[--dot out.dot] [--systemc out.cpp] [--plain] [--threads N]\n"
       "  psmgen predict  --psm model.psm --eval E.csv [--ref E.pw] "
       "[--chunk N]\n"
+      "  psmgen lint     --psm model.psm [--json] [--werror] "
+      "[--suppress ID[,ID...]] [--epsilon E]\n"
       "  psmgen serve    --psm model.psm [--eval E.csv] [--ref E.pw] "
       "[--port N] [--port-file F]\n"
       "                  [--window N] [--drift-wsp PCT] [--drift-z Z] "
@@ -71,6 +78,17 @@ int usage() {
       "--eval E.csv [--ref E.pw] [--threads N]\n"
       "  psmgen demo <ram|multsum|aes|camellia> [--threads N]\n"
       "  psmgen --version\n"
+      "\n"
+      "lint (static analysis of a model artifact; exit 0 = clean, "
+      "1 = findings gated,\n2 = usage error; train also accepts --lint "
+      "to vet the freshly mined model in-process):\n"
+      "  --json             machine-readable psmgen.lint.v1 report on "
+      "stdout instead of text\n"
+      "  --werror           warnings also trip the gate (exit 1)\n"
+      "  --suppress IDs     drop findings by check id "
+      "(repeatable or comma-separated)\n"
+      "  --epsilon E        tolerance for probability-sum checks "
+      "(default 1e-9)\n"
       "\n"
       "  --threads N        characterization threads "
       "(0 = all hardware threads [default], 1 = sequential)\n"
@@ -124,6 +142,12 @@ struct Args {
   double drift_wsp = 35.0;
   double drift_z = 6.0;
   long linger_ms = 0;
+  // lint surface (`psmgen lint` and `train --lint`).
+  bool lint_json = false;
+  bool lint_werror = false;
+  bool lint_after_train = false;
+  double lint_epsilon = 1e-9;
+  std::vector<std::string> lint_suppress;
   // Observability surface (satellite of the obs layer): never changes
   // what lands on stdout, only stderr verbosity and the two dump files.
   std::string log_level;
@@ -235,6 +259,34 @@ bool parse(int argc, char** argv, Args& args) {
         obs::error("cli.bad_flag",
                    {{"flag", flag}, {"why", "expects milliseconds >= 0"}});
         return false;
+      }
+    } else if (flag == "--json") {
+      args.lint_json = true;
+    } else if (flag == "--werror") {
+      args.lint_werror = true;
+    } else if (flag == "--lint") {
+      args.lint_after_train = true;
+    } else if (flag == "--epsilon") {
+      std::string v;
+      if (!value(v)) return false;
+      args.lint_epsilon = std::atof(v.c_str());
+      if (args.lint_epsilon < 0.0) {
+        obs::error("cli.bad_flag",
+                   {{"flag", flag}, {"why", "expects a tolerance >= 0"}});
+        return false;
+      }
+    } else if (flag == "--suppress") {
+      std::string v;
+      if (!value(v)) return false;
+      // Accept both repeated flags and one comma-separated list.
+      std::size_t start = 0;
+      while (start <= v.size()) {
+        const std::size_t comma = v.find(',', start);
+        const std::string id =
+            v.substr(start, comma == std::string::npos ? comma : comma - start);
+        if (!id.empty()) args.lint_suppress.push_back(id);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
       }
     } else if (flag == "--log-level") {
       if (!value(args.log_level)) return false;
@@ -365,6 +417,48 @@ int runGenerate(const Args& args, bool estimate) {
   return 0;
 }
 
+/// Builds the analyzer options from the CLI surface, rejecting check ids
+/// that are not in the registry so a typo in --suppress cannot silently
+/// disable nothing. Returns false on an unknown id (usage error).
+bool lintOptionsFromArgs(const Args& args, analysis::LintOptions& options) {
+  options.epsilon = args.lint_epsilon;
+  options.werror = args.lint_werror;
+  for (const std::string& id : args.lint_suppress) {
+    if (!analysis::findCheck(id)) {
+      obs::error("lint.unknown_check_id", {{"id", id}});
+      return false;
+    }
+    options.suppress.push_back(id);
+  }
+  return true;
+}
+
+/// Shared tail of `lint` and `train --lint`: render the report on stdout
+/// (text or JSON — lint reports are the command's pure result) and fold
+/// the findings into the exit code.
+int reportLint(const analysis::LintReport& report, const std::string& subject,
+               const Args& args, const analysis::LintOptions& options) {
+  const std::string rendered = args.lint_json
+                                   ? analysis::renderJson(report, subject)
+                                   : analysis::renderText(report, subject);
+  std::fputs(rendered.c_str(), stdout);
+  const int rc = analysis::gateExitCode(report, options);
+  obs::info("lint.summary",
+            {{"subject", subject},
+             {"errors", report.errors},
+             {"warnings", report.warnings},
+             {"infos", report.infos},
+             {"gate", rc == 0 ? "pass" : "fail"}});
+  return rc;
+}
+
+int runLint(const Args& args) {
+  analysis::LintOptions options;
+  if (!lintOptionsFromArgs(args, options)) return usage();
+  const analysis::LintReport report = analysis::lintArtifact(args.psm, options);
+  return reportLint(report, args.psm, args, options);
+}
+
 int runTrain(const Args& args) {
   core::CharacterizationFlow flow = trainFlow(args);
   const core::BuildReport report = flow.build();
@@ -376,6 +470,15 @@ int runTrain(const Args& args) {
              {"states", flow.psm().stateCount()},
              {"transitions", flow.psm().transitionCount()},
              {"propositions", flow.domain().size()}});
+  if (args.lint_after_train) {
+    // After-train hook: vet the freshly mined model in-process (no
+    // artifact round-trip) so a bad model fails the training job itself.
+    analysis::LintOptions options;
+    if (!lintOptionsFromArgs(args, options)) return usage();
+    const analysis::LintReport lint =
+        analysis::lintModel(flow.psm(), flow.domain(), options);
+    return reportLint(lint, args.out, args, options);
+  }
   return 0;
 }
 
@@ -642,6 +745,10 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "predict") {
     if (args.psm.empty() || args.eval.empty()) return usage();
     return runPredict(args);
+  }
+  if (cmd == "lint") {
+    if (args.psm.empty()) return usage();
+    return runLint(args);
   }
   if (cmd == "serve") {
     if (args.psm.empty()) return usage();

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "obs/http_server.hpp"
 
@@ -163,6 +164,32 @@ TEST(HttpServer, StopIsIdempotentAndStopsServing) {
   server.stop();  // idempotent
   EXPECT_FALSE(server.running());
   EXPECT_EQ(get(port, "/healthz"), "");
+}
+
+// Regression for a data race ThreadSanitizer flagged: stop() closed
+// listen_fd_ (a plain int at the time) while the accept loop thread was
+// concurrently reading it for the next accept(). The fd is atomic now;
+// this test keeps the exact interleaving exercised — requests in flight
+// while stop() tears the socket down — so a TSan CI run guards it.
+TEST(HttpServer, StopRacingInFlightRequestsIsClean) {
+  for (int round = 0; round < 8; ++round) {
+    obs::HttpServer server;
+    server.handle("/healthz",
+                  [](const std::string&) -> obs::HttpServer::Response {
+                    return {200, "text/plain; charset=utf-8", "ok\n"};
+                  });
+    ASSERT_TRUE(server.listen(0));
+    server.start();
+    const std::uint16_t port = server.port();
+    std::thread client([port] {
+      for (int i = 0; i < 16; ++i) get(port, "/healthz");
+    });
+    // stop() lands mid-burst: some requests succeed, later ones fail to
+    // connect — both are fine, the invariant is no race and no crash.
+    server.stop();
+    client.join();
+    EXPECT_FALSE(server.running());
+  }
 }
 
 TEST(HttpServer, ReasonPhrases) {

@@ -205,6 +205,115 @@ TEST(SerializeErrors, ValidationCatchesCorruptionBehindFixedChecksum) {
   EXPECT_THROW(parse(bytes), serialize::FormatError);
 }
 
+/// Parses `bytes`, requires a FormatError, and returns it by value so
+/// the caller can assert on its structured code/field/offset payload.
+serialize::FormatError catchFormatError(const std::string& bytes) {
+  try {
+    parse(bytes);
+  } catch (const serialize::FormatError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected a FormatError";
+  return serialize::FormatError(serialize::FormatErrorCode::Io, "", 0, "none");
+}
+
+TEST(SerializeErrorCodes, BadMagicCarriesCodeAndField) {
+  std::string bytes = tinyArtifact();
+  bytes[0] = 'X';
+  const serialize::FormatError e = catchFormatError(bytes);
+  EXPECT_EQ(e.code(), serialize::FormatErrorCode::BadMagic);
+  EXPECT_EQ(e.field(), "magic");
+  // The rendered message carries the structured payload for bare logs.
+  EXPECT_NE(std::string(e.what()).find("code=bad_magic"), std::string::npos)
+      << e.what();
+  EXPECT_NE(std::string(e.what()).find("field=magic"), std::string::npos);
+}
+
+TEST(SerializeErrorCodes, UnsupportedVersionCode) {
+  std::string bytes = tinyArtifact();
+  bytes[8] = 0x7F;
+  const serialize::FormatError e = catchFormatError(bytes);
+  EXPECT_EQ(e.code(), serialize::FormatErrorCode::UnsupportedVersion);
+  EXPECT_EQ(e.field(), "format version");
+}
+
+TEST(SerializeErrorCodes, TruncationCarriesPayloadOffset) {
+  const std::string& bytes = tinyArtifact();
+  const std::size_t payload_begin = 8 + 4 + 8;  // magic + version + length
+  // Cut mid-payload: the decoder reports Truncated at the payload byte
+  // position where it ran out, which is <= the number of bytes it got.
+  const std::size_t cut = bytes.size() / 2;
+  const serialize::FormatError e = catchFormatError(bytes.substr(0, cut));
+  EXPECT_EQ(e.code(), serialize::FormatErrorCode::Truncated);
+  ASSERT_NE(e.offset(), serialize::FormatError::kNoOffset);
+  EXPECT_LE(e.offset(), cut - payload_begin);
+  EXPECT_NE(std::string(e.what()).find("offset="), std::string::npos)
+      << e.what();
+}
+
+TEST(SerializeErrorCodes, ChecksumMismatchCode) {
+  std::string bytes = tinyArtifact();
+  bytes[bytes.size() / 2] ^= 0x40;
+  const serialize::FormatError e = catchFormatError(bytes);
+  EXPECT_EQ(e.code(), serialize::FormatErrorCode::ChecksumMismatch);
+  EXPECT_EQ(e.field(), "checksum");
+}
+
+TEST(SerializeErrorCodes, BadFieldNamesTheField) {
+  // Corrupt the first payload byte (the variable-count field) and
+  // re-seal the checksum: the semantic validator must name a field and
+  // the payload offset it choked on.
+  std::string bytes = tinyArtifact();
+  const std::size_t payload_begin = 8 + 4 + 8;
+  const std::size_t payload_size = bytes.size() - payload_begin - 8;
+  bytes[payload_begin] = static_cast<char>(0xFF);
+  const std::uint64_t hash =
+      serialize::fnv1a(bytes.data() + payload_begin, payload_size);
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<char>(hash >> (8 * i));
+  }
+  const serialize::FormatError e = catchFormatError(bytes);
+  EXPECT_EQ(e.code(), serialize::FormatErrorCode::BadField);
+  EXPECT_FALSE(e.field().empty());
+  EXPECT_NE(e.offset(), serialize::FormatError::kNoOffset);
+}
+
+TEST(SerializeErrorCodes, TrailingDataCode) {
+  const std::string path = testing::TempDir() + "psmgen_trailing_test.psm";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << tinyArtifact() << "junk";
+  }
+  try {
+    serialize::loadPsmModel(path);
+    ADD_FAILURE() << "expected a FormatError";
+  } catch (const serialize::FormatError& e) {
+    EXPECT_EQ(e.code(), serialize::FormatErrorCode::TrailingData);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeErrorCodes, IoCodeOnMissingFile) {
+  try {
+    serialize::loadPsmModel("/nonexistent/psmgen_test.psm");
+    FAIL() << "expected a FormatError";
+  } catch (const serialize::FormatError& e) {
+    EXPECT_EQ(e.code(), serialize::FormatErrorCode::Io);
+  }
+}
+
+TEST(SerializeErrorCodes, EveryCodeHasAName) {
+  using serialize::FormatErrorCode;
+  for (const FormatErrorCode code :
+       {FormatErrorCode::Io, FormatErrorCode::BadMagic,
+        FormatErrorCode::UnsupportedVersion, FormatErrorCode::Truncated,
+        FormatErrorCode::ChecksumMismatch, FormatErrorCode::BadField,
+        FormatErrorCode::HmmMismatch, FormatErrorCode::TrailingData}) {
+    EXPECT_STRNE(serialize::formatErrorCodeName(code), "");
+  }
+}
+
 TEST(SerializeErrors, FileRoundTripAndTrailingBytes) {
   const TinyModel tiny = buildTinyModel();
   const std::string path = testing::TempDir() + "psmgen_artifact_test.psm";
