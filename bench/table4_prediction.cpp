@@ -6,8 +6,11 @@
 // For each IP, a PSM is trained on short-TS and saved as a .psm artifact;
 // the evaluation trace is written out as CSV. The measured quantities are
 // (a) cold-load: loadPsmModel wall time, including the HMM integrity
-// re-derivation, and (b) streaming throughput: rows/second through
-// StreamingTraceReader + OnlinePredictor with the default chunk size.
+// re-derivation, (b) streaming throughput: rows/second through
+// StreamingTraceReader + OnlinePredictor with the default chunk size, and
+// (c) prediction accuracy vs the gate-level ground truth: WSP%, lost%,
+// resyncs/kilorow (predict.* gauges) plus power MAE/MRE (bench.* gauges)
+// — the quantities scripts/accuracy_gate.py pins against BENCH_table4.json.
 //
 // stdout is a JSON array of {"ip": ..., "metrics": {...}} objects where
 // each "metrics" value is one full dump of the obs metrics registry
@@ -19,6 +22,7 @@
 // overrides the eval length.
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -96,9 +100,24 @@ int main(int argc, char** argv) {
     const serialize::PsmModel model = serialize::loadPsmModel(model_path);
     runtime::StreamingTraceReader reader(trace_path, {4096});
     runtime::OnlinePredictor predictor(model);
+    // Accuracy vs the gate-level ground truth, accumulated row-by-row in
+    // the streaming sink (the power trace never materializes beside the
+    // estimates): MAE in watts and mean relative error vs mean power.
+    double abs_err_sum = 0.0;
+    double truth_sum = 0.0;
+    std::size_t err_rows = 0;
     const auto t1 = std::chrono::steady_clock::now();
-    const runtime::PredictorStats stats = predictor.predictStream(reader);
+    const runtime::PredictorStats stats = predictor.predictStream(
+        reader, [&](std::size_t index, double estimate) {
+          if (index >= pair.power.length()) return;
+          abs_err_sum += std::fabs(estimate - pair.power.at(index));
+          truth_sum += pair.power.at(index);
+          ++err_rows;
+        });
     const double stream_s = seconds(t1);
+    const double mae = err_rows > 0 ? abs_err_sum / err_rows : 0.0;
+    const double mre_pct =
+        truth_sum > 0.0 ? 100.0 * abs_err_sum / truth_sum : 0.0;
 
     obs::Registry& reg = obs::metrics();
     reg.gauge("bench.states").set(static_cast<double>(model.psm.stateCount()));
@@ -110,6 +129,8 @@ int main(int argc, char** argv) {
         .set(stream_s > 0.0 ? static_cast<double>(stats.rows) / stream_s
                             : 0.0);
     reg.gauge("bench.predict_rows_per_second").set(stats.rowsPerSecond());
+    reg.gauge("bench.power_mae_watts").set(mae);
+    reg.gauge("bench.power_mre_percent").set(mre_pct);
 
     std::ostringstream metrics_json;
     reg.writeJson(metrics_json);

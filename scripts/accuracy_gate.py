@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Prediction-accuracy regression gate over bench/table4_prediction output.
+
+The bench emits a JSON array of per-IP entries whose "metrics" object is a
+full psmgen.metrics.v1 registry dump. This gate pins the accuracy story of
+the serving path against the committed baseline (BENCH_table4.json):
+
+* ``predict.wsp_percent``   — wrong-state predictions over resolved
+  non-deterministic choices; may not rise more than ``--wsp-points``
+  percentage points above the baseline.
+* ``predict.lost_percent``  — rows that ended desynchronized; may not rise
+  more than ``--lost-points`` points.
+* ``bench.power_mae_watts`` — mean absolute error vs the gate-level ground
+  truth; may not rise more than a ``--mae-tolerance`` fraction.
+
+It also enforces two counter invariants on every candidate entry, baseline
+or not (they catch classification bugs rather than regressions):
+
+* ``predict.wrong_predictions <= predict.predictions`` — a violation on a
+  deterministic path must never be booked as a wrong prediction, so WSP%
+  is a true percentage.
+* ``predict.lost_instants <= predict.rows`` — a row can be lost at most
+  once.
+
+Accuracy is deterministic for a fixed seed, but the gate accepts several
+candidate runs like the perf gate does and takes the per-IP best, so one
+invocation style works for both gates in CI.
+
+Usage::
+
+    # gate (exit 1 on regression or invariant violation)
+    scripts/accuracy_gate.py --baseline BENCH_table4.json run1.json
+
+    # refresh the committed baseline from the best candidate run
+    scripts/accuracy_gate.py --baseline BENCH_table4.json --update run1.json
+
+Tolerances can also be set with PSMGEN_WSP_POINTS, PSMGEN_LOST_POINTS and
+PSMGEN_MAE_TOLERANCE; command-line flags win.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_WSP_POINTS = 2.0    # absolute percentage points
+DEFAULT_LOST_POINTS = 2.0   # absolute percentage points
+DEFAULT_MAE_TOLERANCE = 0.25  # fraction of baseline MAE
+
+
+def load_entries(path):
+    with open(path, "r", encoding="utf-8") as f:
+        entries = json.load(f)
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{path}: expected a non-empty JSON array")
+    return entries
+
+
+def accuracy_of(entry, path):
+    """Extracts the gated quantities of one per-IP entry, checking the
+    counter invariants along the way."""
+    ip = entry["ip"]
+    counters = entry["metrics"]["counters"]
+    gauges = entry["metrics"]["gauges"]
+
+    predictions = counters.get("predict.predictions", 0)
+    wrong = counters.get("predict.wrong_predictions", 0)
+    rows = counters.get("predict.rows", 0)
+    lost = counters.get("predict.lost_instants", 0)
+    if wrong > predictions:
+        raise ValueError(
+            f"{path}: {ip}: wrong_predictions ({wrong}) > predictions "
+            f"({predictions}) — wrong-vs-unexpected classification is broken")
+    if lost > rows:
+        raise ValueError(
+            f"{path}: {ip}: lost_instants ({lost}) > rows ({rows}) — "
+            "lost rows are being double-counted")
+
+    required = ("predict.wsp_percent", "predict.lost_percent",
+                "bench.power_mae_watts")
+    for name in required:
+        if name not in gauges:
+            raise ValueError(f"{path}: entry {ip!r} has no gauge {name!r}")
+    return {
+        "wsp": float(gauges["predict.wsp_percent"]),
+        "lost": float(gauges["predict.lost_percent"]),
+        "mae": float(gauges["bench.power_mae_watts"]),
+    }
+
+
+def load_accuracy(path):
+    """Returns {ip: {wsp, lost, mae}} for one table4 JSON file."""
+    return {e["ip"]: accuracy_of(e, path) for e in load_entries(path)}
+
+
+def badness(acc):
+    """Scalar used to order candidate runs (lower is better)."""
+    return acc["wsp"] + acc["lost"] + acc["mae"] * 1e6
+
+
+def best_of(paths):
+    """Per-IP best (lowest-badness) accuracy across candidate runs."""
+    best = {}
+    for path in paths:
+        for ip, acc in load_accuracy(path).items():
+            if ip not in best or badness(acc) < badness(best[ip]):
+                best[ip] = acc
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidates", nargs="+",
+                        help="fresh table4_prediction JSON output(s)")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON (e.g. BENCH_table4.json)")
+    parser.add_argument("--wsp-points", type=float, default=None,
+                        help="allowed WSP%% rise in percentage points "
+                             f"(default {DEFAULT_WSP_POINTS})")
+    parser.add_argument("--lost-points", type=float, default=None,
+                        help="allowed lost%% rise in percentage points "
+                             f"(default {DEFAULT_LOST_POINTS})")
+    parser.add_argument("--mae-tolerance", type=float, default=None,
+                        help="allowed fractional power-MAE rise "
+                             f"(default {DEFAULT_MAE_TOLERANCE})")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the best candidate "
+                             "run instead of gating")
+    args = parser.parse_args()
+
+    wsp_points = args.wsp_points if args.wsp_points is not None else float(
+        os.environ.get("PSMGEN_WSP_POINTS", DEFAULT_WSP_POINTS))
+    lost_points = args.lost_points if args.lost_points is not None else float(
+        os.environ.get("PSMGEN_LOST_POINTS", DEFAULT_LOST_POINTS))
+    mae_tol = args.mae_tolerance if args.mae_tolerance is not None else float(
+        os.environ.get("PSMGEN_MAE_TOLERANCE", DEFAULT_MAE_TOLERANCE))
+    for name, v in (("--wsp-points", wsp_points),
+                    ("--lost-points", lost_points)):
+        if v < 0.0:
+            parser.error(f"{name} must be >= 0, got {v}")
+    if not 0.0 <= mae_tol < 1.0:
+        parser.error(f"--mae-tolerance must be in [0, 1), got {mae_tol}")
+
+    try:
+        if args.update:
+            best_path = min(
+                args.candidates,
+                key=lambda p: sum(badness(a)
+                                  for a in load_accuracy(p).values()))
+            with open(best_path, "r", encoding="utf-8") as f:
+                payload = f.read()
+            with open(args.baseline, "w", encoding="utf-8") as f:
+                f.write(payload)
+            print(f"baseline {args.baseline} updated from {best_path}")
+            return 0
+
+        baseline = load_accuracy(args.baseline)
+        candidate = best_of(args.candidates)
+    except ValueError as err:
+        print(f"FAIL: {err}")
+        return 1
+
+    missing = sorted(set(baseline) - set(candidate))
+    if missing:
+        print(f"FAIL: candidate runs are missing IPs: {', '.join(missing)}")
+        return 1
+
+    failed = False
+    print(f"accuracy gate: wsp +{wsp_points:.1f}pt, lost +{lost_points:.1f}pt, "
+          f"mae +{mae_tol:.0%}, best of {len(args.candidates)} run(s)")
+    print(f"{'IP':<10} {'metric':<6} {'baseline':>12} {'candidate':>12}  verdict")
+    for ip in sorted(baseline):
+        base = baseline[ip]
+        cand = candidate[ip]
+        checks = (
+            ("wsp", base["wsp"], cand["wsp"], base["wsp"] + wsp_points),
+            ("lost", base["lost"], cand["lost"], base["lost"] + lost_points),
+            ("mae", base["mae"], cand["mae"],
+             base["mae"] * (1.0 + mae_tol)),
+        )
+        for name, b, c, limit in checks:
+            ok = c <= limit or c <= 1e-12
+            failed = failed or not ok
+            print(f"{ip:<10} {name:<6} {b:>12.4g} {c:>12.4g}  "
+                  f"{'ok' if ok else 'REGRESSION'}")
+    if failed:
+        print(f"FAIL: prediction accuracy regressed beyond tolerance vs "
+              f"{args.baseline}. If the change is an intended trade-off, "
+              "refresh the baseline with --update.")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,9 @@ Hmm::Filter::Filter(const Hmm& hmm) : hmm_(&hmm) { reset(); }
 void Hmm::Filter::reset() {
   belief_ = hmm_->pi_;
   a_penalized_ = hmm_->a_;
+  penalized_.clear();
+  pi_overlay_.clear();
+  pi_penalized_ = false;
 }
 
 void Hmm::Filter::step(EventId event) {
@@ -150,9 +153,10 @@ StateId Hmm::Filter::bestInitial(const std::vector<StateId>& candidates,
                                  EventId event) const {
   StateId best = kNoState;
   double best_score = -1.0;
+  const std::vector<double>& pi = pi_penalized_ ? pi_overlay_ : hmm_->pi_;
   for (const StateId c : candidates) {
     const double obs = event == kNoEvent ? 1.0 : hmm_->b(c, event);
-    const double score = hmm_->pi(c) * obs;
+    const double score = pi.at(static_cast<std::size_t>(c)) * obs;
     if (score > best_score) {
       best_score = score;
       best = c;
@@ -163,8 +167,46 @@ StateId Hmm::Filter::bestInitial(const std::vector<StateId>& candidates,
 
 void Hmm::Filter::penalize(StateId i, StateId j) {
   const std::size_t n = hmm_->n_;
-  a_penalized_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] =
-      0.0;
+  const std::size_t idx =
+      static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j);
+  if (a_penalized_[idx] != 0.0) {
+    a_penalized_[idx] = 0.0;
+    penalized_.push_back(idx);
+  }
+}
+
+void Hmm::Filter::penalizeState(StateId j) {
+  const std::size_t idx = static_cast<std::size_t>(j);
+  if (pi_overlay_.empty()) pi_overlay_ = hmm_->pi_;
+  pi_overlay_[idx] = 0.0;
+  pi_penalized_ = true;
+  // Suppress the wrong state in the belief too; if that leaves nothing
+  // (the belief had collapsed onto j), restart from the suppressed prior.
+  belief_[idx] = 0.0;
+  double sum = 0.0;
+  for (const double v : belief_) sum += v;
+  if (sum > 0.0) {
+    for (auto& v : belief_) v /= sum;
+    return;
+  }
+  belief_ = pi_overlay_;
+  sum = 0.0;
+  for (const double v : belief_) sum += v;
+  if (sum > 0.0) {
+    for (auto& v : belief_) v /= sum;
+  } else if (!belief_.empty()) {
+    std::fill(belief_.begin(), belief_.end(),
+              1.0 / static_cast<double>(belief_.size()));
+  }
+}
+
+void Hmm::Filter::relax() {
+  for (const std::size_t idx : penalized_) {
+    a_penalized_[idx] = hmm_->a_[idx];
+  }
+  penalized_.clear();
+  pi_overlay_.clear();
+  pi_penalized_ = false;
 }
 
 }  // namespace psmgen::core

@@ -12,7 +12,17 @@
 // observed assertion; non-deterministic choices pick the most probable
 // candidate; when a wrong state is predicted the simulator reverts to the
 // last valid state and the offending transition probability is fixed to 0
-// for the rest of the run (penalize).
+// (penalize) while the mis-prediction is being repaired. Penalties are
+// *transient*: they exist so the repair does not immediately re-pick the
+// branch that just failed, and relax() restores the trained matrix once
+// the simulator advances cleanly again. (The paper keeps them for the
+// rest of the run; over long serving streams that permanently corrodes
+// A — every context where the penalized branch was the *right* answer
+// then mispredicts too, which is exactly the WSP blow-up this revision
+// fixes.) penalizeState covers the first mis-prediction, where there is
+// no last-valid source state to index a transition penalty from: the
+// wrong state is suppressed in the belief and in the initial-choice
+// prior instead.
 
 #include <unordered_map>
 #include <vector>
@@ -66,8 +76,22 @@ class Hmm {
     StateId bestInitial(const std::vector<StateId>& candidates,
                         EventId event) const;
 
-    /// Fixes the (penalized) probability of i -> j to 0 for this run.
+    /// Fixes the (penalized) probability of i -> j to 0 until relax().
     void penalize(StateId i, StateId j);
+
+    /// Penalty for a mis-prediction with no source state (the first entry
+    /// of a stream): suppresses j in the belief and in the initial-choice
+    /// prior until relax(), so the repair cannot re-pick it.
+    void penalizeState(StateId j);
+
+    /// Lifts every active penalty: restores the trained transition rows
+    /// and the initial prior. The belief is left as filtered (it evolves
+    /// on its own). Cheap no-op when nothing is penalized.
+    void relax();
+
+    bool hasPenalties() const {
+      return !penalized_.empty() || pi_penalized_;
+    }
 
     const std::vector<double>& belief() const { return belief_; }
 
@@ -75,6 +99,13 @@ class Hmm {
     const Hmm* hmm_;
     std::vector<double> belief_;
     std::vector<double> a_penalized_;
+    /// Flat a_penalized_ indices currently forced to 0 (relax() undoes
+    /// them from hmm_->a_).
+    std::vector<std::size_t> penalized_;
+    /// Initial-choice prior with penalizeState suppressions; empty means
+    /// "use hmm_->pi_ unmodified".
+    std::vector<double> pi_overlay_;
+    bool pi_penalized_ = false;
   };
 
  private:

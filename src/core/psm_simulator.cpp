@@ -1,6 +1,7 @@
 #include "core/psm_simulator.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
@@ -72,13 +73,34 @@ PsmSimulator::Session::matchingConfigs(StateId s, PropId obs,
   return out;
 }
 
+/// Ranks a candidate state for a non-deterministic choice. With the HMM:
+/// the forward-filtering predictive mass into the state times the emission
+/// probability of the best alternative the entry would select (b_j of the
+/// observed assertion — previously the emission term was dropped entirely,
+/// wasting the B matrix at exactly the decisions it exists for), with the
+/// training population as an epsilon tie-break. Without the HMM: training
+/// population alone (the frequency-ablation policy).
+double PsmSimulator::Session::choiceScore(
+    StateId s, const std::vector<Config>& configs) const {
+  const PowerState& state = sim_->psm_->state(s);
+  if (!sim_->options_.use_hmm) return static_cast<double>(state.power.n);
+  double b_best = 0.0;
+  for (const Config& c : configs) {
+    const EventId e = sim_->hmm_.eventOf(state.assertion.alts[c.alt]);
+    b_best = std::max(b_best, sim_->hmm_.b(s, e));
+  }
+  return filter_.predictiveScore(s, kNoEvent) * b_best +
+         1e-9 * static_cast<double>(state.power.n);
+}
+
 bool PsmSimulator::Session::enterState(StateId s, PropId obs, bool entry_only,
-                                       bool was_choice) {
+                                       bool was_choice, PropId enabling) {
   std::vector<Config> configs = matchingConfigs(s, obs, entry_only);
   if (configs.empty()) return false;
   revert_from_ = cur_;
   cur_ = s;
   last_valid_ = s;
+  entry_enabling_ = enabling;
   configs_ = std::move(configs);
   lost_ = false;
   entry_was_choice_ = was_choice;
@@ -99,27 +121,29 @@ void PsmSimulator::Session::tryRecognize(PropId obs) {
   // assertion set (paper: stay in the last valid state until a known
   // behaviour is finally recognised).
   StateId best = kNoState;
+  std::vector<Config> best_configs;
   double best_score = -1.0;
-  std::size_t matches = 0;
-  const auto& states = sim_->psm_->states();
-  for (const auto& s : states) {
-    if (matchingConfigs(s.id, obs, /*entry_only=*/false).empty()) continue;
-    ++matches;
-    double score;
-    if (sim_->options_.use_hmm) {
-      score = filter_.predictiveScore(s.id, kNoEvent);
-      // Tie-break / floor on training frequency.
-      score += 1e-9 * static_cast<double>(s.power.n);
-    } else {
-      score = static_cast<double>(s.power.n);
-    }
+  for (const auto& s : sim_->psm_->states()) {
+    std::vector<Config> configs =
+        matchingConfigs(s.id, obs, /*entry_only=*/false);
+    if (configs.empty()) continue;
+    const double score = choiceScore(s.id, configs);
     if (score > best_score) {
       best_score = score;
       best = s.id;
+      best_configs = std::move(configs);
     }
   }
   if (best != kNoState) {
-    enterState(best, obs, /*entry_only=*/false, /*was_choice=*/matches > 1);
+    // Recognition is not a transition: the entry carries no enabling
+    // proposition, so a later violation in the recognized state can only
+    // re-route through *its own* entry context, never a stale one. It is
+    // not a *prediction* either — a resync guess recovers from behaviour
+    // the model does not cover, and its failure is more of the same
+    // unexpected behaviour, not a wrong successor choice (WSP measures
+    // the HMM at non-deterministic transitions only).
+    enterState(best, obs, /*entry_only=*/false, /*was_choice=*/false,
+               /*enabling=*/kNoProp);
   }
 }
 
@@ -127,43 +151,75 @@ void PsmSimulator::Session::handleViolation(PropId obs) {
   lost_ = true;
   const StateId wrong_state = cur_;
   const bool was_choice = entry_was_choice_;
-  cur_ = last_valid_ = revert_from_ != kNoState ? revert_from_ : cur_;
-  if (sim_->options_.use_hmm && revert_from_ != kNoState &&
-      wrong_state != kNoState) {
-    // Fix to 0 the probability of reaching the wrong state again.
-    filter_.penalize(revert_from_, wrong_state);
+  const StateId from = revert_from_;
+  const PropId enabling = entry_enabling_;
+  // Revert to the last valid state. At the first mis-prediction of a
+  // stream there is none: fall back to the desynchronized default (the
+  // output uses default_state_) instead of staying in the wrong state.
+  cur_ = last_valid_ = from;
+  // Every violation is exactly one of the two failure kinds: a failed
+  // non-deterministic choice (wrong prediction) or a deterministic path
+  // the training traces never covered (unexpected behaviour).
+  if (was_choice) {
+    ++wrong_;
+  } else {
+    ++unexpected_;
+  }
+  if (sim_->options_.use_hmm && wrong_state != kNoState) {
+    // Transiently suppress the failed branch so the repair below (and the
+    // recognition that may follow) cannot immediately re-pick it; step()
+    // lifts the penalty once the session advances cleanly again.
+    if (from != kNoState) {
+      filter_.penalize(from, wrong_state);
+    } else {
+      filter_.penalizeState(wrong_state);
+    }
   }
   // Follow a different path from the last valid state: another target of
   // the same enabling function that accepts the current observation.
-  bool rerouted = false;
-  if (revert_from_ != kNoState && entry_enabling_ != kNoProp) {
-    const auto& candidates =
-        sim_->successors(revert_from_, entry_enabling_);
-    for (const StateId c : candidates) {
+  if (from != kNoState && enabling != kNoProp) {
+    std::vector<StateId> viable;
+    std::vector<std::vector<Config>> viable_configs;
+    for (const StateId c : sim_->successors(from, enabling)) {
       if (c == wrong_state) continue;
       if (sim_->options_.use_hmm &&
           filter_.predictiveScore(c, kNoEvent) <= 0.0) {
         continue;
       }
-      if (enterState(c, obs, /*entry_only=*/false, /*was_choice=*/true)) {
-        rerouted = true;
-        break;
+      std::vector<Config> configs =
+          matchingConfigs(c, obs, /*entry_only=*/false);
+      if (configs.empty()) continue;
+      viable.push_back(c);
+      viable_configs.push_back(std::move(configs));
+    }
+    if (!viable.empty()) {
+      std::size_t best = 0;
+      double best_score = -1.0;
+      for (std::size_t i = 0; i < viable.size(); ++i) {
+        const double score = choiceScore(viable[i], viable_configs[i]);
+        if (score > best_score) {
+          best_score = score;
+          best = i;
+        }
+      }
+      if (enterState(viable[best], obs, /*entry_only=*/false,
+                     /*was_choice=*/viable.size() > 1, enabling)) {
+        return;
       }
     }
   }
-  // A *wrong prediction* is a failed non-deterministic choice: either the
-  // entry was an HMM choice, or the model contained an alternative path
-  // that now succeeds. A failure with no alternative is the paper's
-  // "unexpected behaviour" (training-trace incompleteness).
-  if (was_choice || rerouted) {
-    ++wrong_;
-  } else {
-    ++unexpected_;
-  }
-  if (rerouted) return;
   // No alternative path: remain in the last valid state and wait for a
   // recognisable behaviour.
   tryRecognize(obs);
+}
+
+void PsmSimulator::Session::bufferObs(std::vector<Run>& buffer, PropId obs) {
+  if (!buffer.empty() && buffer.back().p == obs &&
+      buffer.back().count < std::numeric_limits<std::uint32_t>::max()) {
+    ++buffer.back().count;
+  } else {
+    buffer.push_back({obs, 1});
+  }
 }
 
 double PsmSimulator::Session::step(const std::vector<common::BitVector>& row) {
@@ -198,38 +254,33 @@ double PsmSimulator::Session::step(const std::vector<common::BitVector>& row) {
                    ? filter_.bestInitial(candidates, kNoEvent)
                    : candidates.front();
       }
-      if (pick != kNoState &&
-          enterState(pick, obs, /*entry_only=*/true,
-                     /*was_choice=*/candidates.size() > 1)) {
-        return outputPower(hd_in, hd_io);
+      if (pick == kNoState ||
+          !enterState(pick, obs, /*entry_only=*/true,
+                      /*was_choice=*/candidates.size() > 1,
+                      /*enabling=*/kNoProp)) {
+        tryRecognize(obs);
       }
-      tryRecognize(obs);
-      if (!lost_) return outputPower(hd_in, hd_io);
     }
-    lost_ = true;
-    ++lost_instants_;
-    return outputPower(hd_in, hd_io);
-  }
-
-  if (lost_) {
+  } else if (lost_) {
     tryRecognize(obs);
-    if (lost_) {
-      ++lost_instants_;
-      return outputPower(hd_in, hd_io);
+  } else {
+    for (auto& chk : checkpoints_) bufferObs(chk.buffer, obs);
+    while (!checkpoints_.empty() &&
+           checkpoints_.front().buffer.size() > kMaxBacktrackRuns) {
+      checkpoints_.erase(checkpoints_.begin());
     }
-    return outputPower(hd_in, hd_io);
+    if (advanceCore(obs, /*allow_checkpoint=*/true) == Advance::Violation) {
+      if (!tryBacktrack()) handleViolation(obs);
+    } else if (filter_.hasPenalties()) {
+      // A clean advance ends the mis-prediction repair: restore the
+      // trained transition matrix (hmm.hpp "transient penalties").
+      filter_.relax();
+    }
   }
-
-  for (auto& chk : checkpoints_) chk.buffer.push_back(obs);
-  while (!checkpoints_.empty() &&
-         checkpoints_.front().buffer.size() > kMaxBacktrack) {
-    checkpoints_.erase(checkpoints_.begin());
-  }
-
-  if (advanceCore(obs, /*allow_checkpoint=*/true) == Advance::Violation) {
-    if (!tryBacktrack()) handleViolation(obs);
-    if (lost_) ++lost_instants_;
-  }
+  // The single lost-instant accounting point: a row counts as lost iff
+  // its processing ends desynchronized (so no path can count one row
+  // twice, and a violation repaired within the row counts zero).
+  if (lost_) ++lost_instants_;
   return outputPower(hd_in, hd_io);
 }
 
@@ -289,21 +340,27 @@ PsmSimulator::Session::Advance PsmSimulator::Session::advanceCore(
   if (!exit_requested) return Advance::Violation;
 
   // Leave through the transition enabled by the observed proposition.
-  entry_enabling_ = obs;
   const std::vector<StateId>& candidates = sim_->successors(cur_, obs);
   std::vector<StateId> viable;
+  std::vector<std::vector<Config>> viable_configs;
   for (const StateId c : candidates) {
-    if (!matchingConfigs(c, obs, /*entry_only=*/true).empty()) {
-      viable.push_back(c);
-    }
+    std::vector<Config> configs = matchingConfigs(c, obs, /*entry_only=*/true);
+    if (configs.empty()) continue;
+    viable.push_back(c);
+    viable_configs.push_back(std::move(configs));
   }
   if (!viable.empty()) {
-    const StateId pick = sim_->options_.use_hmm
-                             ? filter_.bestAmong(viable, kNoEvent)
-                             : viable.front();
-    if (pick != kNoState &&
-        enterState(pick, obs, /*entry_only=*/true,
-                   /*was_choice=*/viable.size() > 1)) {
+    std::size_t best = 0;
+    double best_score = -1.0;
+    for (std::size_t i = 0; i < viable.size(); ++i) {
+      const double score = choiceScore(viable[i], viable_configs[i]);
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (enterState(viable[best], obs, /*entry_only=*/true,
+                   /*was_choice=*/viable.size() > 1, /*enabling=*/obs)) {
       return Advance::Exited;
     }
   }
@@ -324,7 +381,7 @@ bool PsmSimulator::Session::tryCheckpoint() {
 
   const StateId from = chk.state;
   const PropId enabling = chk.enabling;
-  const std::vector<PropId>& buffer = chk.buffer;
+  const std::vector<Run>& buffer = chk.buffer;
 
   // Take the forgone exit at the checkpointed instant...
   const std::vector<StateId>& candidates = sim_->successors(from, enabling);
@@ -350,7 +407,7 @@ bool PsmSimulator::Session::tryCheckpoint() {
   for (const StateId pick : viable) {
     cur_ = from;
     if (!enterState(pick, enabling, /*entry_only=*/true,
-                    /*was_choice=*/false)) {
+                    /*was_choice=*/false, enabling)) {
       continue;
     }
     bool ok = true;
@@ -358,14 +415,17 @@ bool PsmSimulator::Session::tryCheckpoint() {
     // those only see the remaining buffered observations (older
     // checkpoints already received them through step()).
     const std::size_t baseline = checkpoints_.size();
-    for (const PropId o : buffer) {
-      for (std::size_t j = baseline; j < checkpoints_.size(); ++j) {
-        checkpoints_[j].buffer.push_back(o);
+    for (const Run& run : buffer) {
+      for (std::uint32_t r = 0; ok && r < run.count; ++r) {
+        for (std::size_t j = baseline; j < checkpoints_.size(); ++j) {
+          bufferObs(checkpoints_[j].buffer, run.p);
+        }
+        if (advanceCore(run.p, /*allow_checkpoint=*/true) ==
+            Advance::Violation) {
+          ok = false;
+        }
       }
-      if (advanceCore(o, /*allow_checkpoint=*/true) == Advance::Violation) {
-        ok = false;
-        break;
-      }
+      if (!ok) break;
     }
     if (ok) return true;
     // Drop checkpoints recorded under the failed interpretation.

@@ -13,13 +13,37 @@
 // satisfied. When the assertion set completes, the state is left through
 // the transition whose enabling function equals the observed exit
 // proposition; if several transitions qualify (non-determinism from the
-// join), the HMM filter predicts the most probable target. When every
-// alternative dies, the state was a wrong prediction: the simulator
-// reverts to the last valid state, fixes the offending transition
-// probability to 0 (Hmm::Filter::penalize) and tries a different path;
-// if no path accepts the observation it stays in the last valid state —
-// emitting its (unreliable) power — until a known behaviour is
-// recognised again.
+// join), the HMM filter predicts the most probable target, weighting
+// each candidate by the emission probability of the alternative it would
+// enter through (b_j of the forward-filtering recurrence) on top of the
+// belief-propagated transition mass. When every alternative dies the
+// simulator reverts to the last valid state, transiently fixes the
+// offending transition probability to 0 (Hmm::Filter::penalize — lifted
+// again once the session advances cleanly, see hmm.hpp) and tries a
+// different path; if no path accepts the observation it stays in the
+// last valid state — emitting its (unreliable) power — until a known
+// behaviour is recognised again.
+//
+// Counter semantics (shared verbatim by SimResult, runtime::PredictorStats
+// and runtime::QualityMonitor — DESIGN.md "Prediction accounting"):
+//   - predictions: non-deterministic choices the filter resolved (entry
+//     among >1 viable successors, initial choice among >1 matching
+//     initial states, re-route among >1 surviving alternatives). A
+//     resynchronization guess is *not* a prediction: it recovers from
+//     behaviour the model does not cover, so its failure says nothing
+//     about the filter's choice quality.
+//   - wrong_predictions: a *prediction* later invalidated — the entered
+//     state's assertion died while the entry had been a choice. A
+//     violation on a deterministic path is never a wrong prediction, so
+//     wrong_predictions <= predictions and WSP% = 100 * wrong /
+//     predictions is bounded by 100.
+//   - unexpected_behaviours: assertion violations whose entry was *not* a
+//     choice — behaviour absent from the training traces (the paper's
+//     "unexpected behaviour"). Every violation increments exactly one of
+//     wrong_predictions / unexpected_behaviours.
+//   - lost_instants: rows whose processing *ends* with the session
+//     desynchronized — incremented at exactly one point per step(), so a
+//     row can never be counted lost twice.
 //
 // The Session object exposes a streaming per-cycle API so the SystemC-lite
 // PSM module can co-simulate with the IP model (Table III).
@@ -52,19 +76,23 @@ struct SimResult {
   std::vector<double> estimate;  ///< per-instant power estimate
 
   /// Non-deterministic decisions the HMM filter resolved (choice among
-  /// more than one viable state at an entry, initial choice, or resync
-  /// recognition with several matching states).
+  /// more than one viable state at an entry, initial choice, or re-route
+  /// with several matching states; resync guesses are excluded).
   std::size_t predictions = 0;
   /// Predictions proven wrong: the entered state's assertion failed and
-  /// an *alternative path existed in the model* — the HMM simply chose
-  /// the wrong branch (paper Sec. V: revert, penalize, re-route).
+  /// the entry had been a non-deterministic choice — the HMM picked the
+  /// wrong branch (paper Sec. V: revert, penalize, re-route). Always
+  /// <= predictions.
   std::size_t wrong_predictions = 0;
-  /// Assertion failures with no alternative path: behaviour absent from
-  /// the training traces (the paper's "unexpected behaviour" case).
+  /// Assertion failures whose entry was deterministic: behaviour absent
+  /// from the training traces (the paper's "unexpected behaviour" case).
+  /// Disjoint from wrong_predictions — each violation counts once.
   std::size_t unexpected_behaviours = 0;
-  std::size_t lost_instants = 0;  ///< instants spent desynchronized
+  /// Rows that ended desynchronized (counted once per row).
+  std::size_t lost_instants = 0;
 
-  /// Wrong-state-prediction percentage (Table III "WSP").
+  /// Wrong-state-prediction percentage (Table III "WSP"): wrong
+  /// predictions over resolved predictions, in [0, 100].
   double wspPercent() const {
     return predictions == 0
                ? 0.0
@@ -102,11 +130,18 @@ class PsmSimulator {
     };
 
     enum class Advance { Stayed, Exited, Violation };
-    /// Bound on buffered observations for the exit-checkpoint backtrack.
-    static constexpr std::size_t kMaxBacktrack = 64;
+    /// Bound on *runs* of identical buffered observations per checkpoint.
+    /// Power traces dwell in long same-proposition runs (idle/busy
+    /// stretches), which until patterns absorb whole; bounding runs
+    /// instead of raw rows keeps a checkpoint alive across arbitrarily
+    /// long dwells with bounded memory. (Bounding raw rows silently
+    /// dropped the only correct reinterpretation on every dwell longer
+    /// than the cap — the root cause of the RAM WSP blow-up.)
+    static constexpr std::size_t kMaxBacktrackRuns = 64;
 
     double outputPower(unsigned hd_in, unsigned hd_io) const;
-    bool enterState(StateId s, PropId obs, bool entry_only, bool was_choice);
+    bool enterState(StateId s, PropId obs, bool entry_only, bool was_choice,
+                    PropId enabling);
     Advance advanceCore(PropId obs, bool allow_checkpoint);
     bool tryBacktrack();
     bool tryCheckpoint();
@@ -114,6 +149,7 @@ class PsmSimulator {
     void tryRecognize(PropId obs);
     std::vector<Config> matchingConfigs(StateId s, PropId obs,
                                         bool entry_only) const;
+    double choiceScore(StateId s, const std::vector<Config>& configs) const;
 
     const PsmSimulator* sim_;
     Hmm::Filter filter_;
@@ -127,13 +163,20 @@ class PsmSimulator {
     bool entry_was_choice_ = false;
     std::vector<Config> configs_;
     /// A forgone exit (survivors were preferred) that violation handling
-    /// may revisit; buffer holds the observations seen since. A small
-    /// stack of checkpoints handles nested ambiguities, newest first.
+    /// may revisit; buffer holds the observations seen since,
+    /// run-length-encoded (power traces dwell, so runs are the natural
+    /// unit). A small stack of checkpoints handles nested ambiguities,
+    /// newest first.
+    struct Run {
+      PropId p = kNoProp;
+      std::uint32_t count = 0;
+    };
     struct Checkpoint {
       StateId state = kNoState;
       PropId enabling = kNoProp;
-      std::vector<PropId> buffer;
+      std::vector<Run> buffer;
     };
+    static void bufferObs(std::vector<Run>& buffer, PropId obs);
     static constexpr std::size_t kMaxCheckpoints = 4;
     std::vector<Checkpoint> checkpoints_;
     std::vector<common::BitVector> prev_inputs_;

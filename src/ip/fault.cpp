@@ -1,0 +1,132 @@
+#include "ip/fault.hpp"
+
+#include <stdexcept>
+
+namespace psmgen::ip {
+
+namespace {
+
+bool hasPrefix(const std::string& name, const std::string& prefix) {
+  return name.size() >= prefix.size() &&
+         name.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+FaultyDevice::FaultyDevice(std::unique_ptr<rtl::Device> inner,
+                           FaultConfig config)
+    : inner_(std::move(inner)), config_(std::move(config)),
+      rng_(config_.seed) {
+  if (!inner_) {
+    throw std::invalid_argument("FaultyDevice: null inner device");
+  }
+  for (rtl::Register* r : inner_->mutableRegisters()) {
+    if (config_.target_prefixes.empty()) {
+      targets_.push_back(r);
+      continue;
+    }
+    for (const std::string& prefix : config_.target_prefixes) {
+      if (hasPrefix(r->name(), prefix)) {
+        targets_.push_back(r);
+        break;
+      }
+    }
+  }
+  if (targets_.empty()) {
+    throw std::invalid_argument(
+        "FaultyDevice: no injectable register matches the target prefixes");
+  }
+}
+
+void FaultyDevice::reset() {
+  inner_->reset();
+  rng_ = common::Rng(config_.seed);
+  cycle_ = 0;
+  faults_injected_ = 0;
+}
+
+void FaultyDevice::tick(const rtl::PortValues& in, rtl::PortValues& out) {
+  inner_->tick(in, out);
+  if (cycle_++ >= config_.onset_cycle &&
+      rng_.uniformReal() < config_.flip_rate) {
+    rtl::Register* target =
+        targets_[rng_.uniform(static_cast<std::uint64_t>(targets_.size()))];
+    common::BitVector v = target->value();
+    const unsigned bit =
+        static_cast<unsigned>(rng_.uniform(target->width()));
+    v.setBit(bit, !v.bit(bit));
+    target->set(v);
+    ++faults_injected_;
+  }
+}
+
+FaultConfig faultPreset(IpKind kind) {
+  FaultConfig config;
+  switch (kind) {
+    case IpKind::Aes:
+      // DFA-style: glitch the round state and the round-key pipeline.
+      config.target_prefixes = {"state", "rk"};
+      break;
+    case IpKind::Camellia:
+      // Data halves and the subkey pipeline (the FL units follow).
+      config.target_prefixes = {"d1", "d2", "ks_subkey"};
+      break;
+    case IpKind::Ram:
+      // Upsets in the cell array: classic memory SEUs.
+      config.target_prefixes = {"mem"};
+      break;
+    case IpKind::MultSum:
+      // Small datapath, no obvious DFA target: hit anything.
+      config.target_prefixes = {};
+      break;
+  }
+  return config;
+}
+
+PerturbedStimulus::PerturbedStimulus(std::unique_ptr<rtl::Stimulus> inner,
+                                     Config config)
+    : inner_(std::move(inner)), config_(config), rng_(config.seed) {
+  if (!inner_) {
+    throw std::invalid_argument("PerturbedStimulus: null inner stimulus");
+  }
+}
+
+void PerturbedStimulus::restart() {
+  inner_->restart();
+  rng_ = common::Rng(config_.seed);
+  prev_.clear();
+  applied_ = 0;
+}
+
+rtl::PortValues PerturbedStimulus::next(std::size_t cycle) {
+  rtl::PortValues values = inner_->next(cycle);
+  if (cycle >= config_.onset_cycle) {
+    const double roll = rng_.uniformReal();
+    if (roll < config_.stall_rate && !prev_.empty()) {
+      values = prev_;
+      ++applied_;
+    } else if (roll < config_.stall_rate + config_.drop_rate) {
+      for (auto& v : values) v = common::BitVector(v.width());
+      ++applied_;
+    }
+  }
+  prev_ = values;
+  return values;
+}
+
+void scalePowerModes(trace::PowerTrace& trace, std::size_t onset,
+                     std::size_t period, double factor) {
+  if (period == 0) {
+    throw std::invalid_argument("scalePowerModes: period must be > 0");
+  }
+  trace::PowerTrace scaled(trace.params());
+  scaled.reserve(trace.length());
+  for (std::size_t t = 0; t < trace.length(); ++t) {
+    double w = trace.at(t);
+    if (t >= onset && ((t - onset) / period) % 2 == 0) w *= factor;
+    scaled.append(w);
+  }
+  trace = std::move(scaled);
+}
+
+}  // namespace psmgen::ip

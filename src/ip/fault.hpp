@@ -1,0 +1,134 @@
+#pragma once
+// Fault-injection campaign building blocks (ROADMAP "fault-injection
+// campaigns + prediction-accuracy offensive").
+//
+// A mined PSM is an *estimator*, and estimators must be characterized
+// under inputs the training traces never produced. The classic way to
+// manufacture such inputs for hardware IPs is fault injection — the same
+// models differential fault analysis uses against ciphers:
+//
+//   - FaultyDevice: a Device decorator that flips stored register bits
+//     between clock edges (single-event upsets / DFA round glitches).
+//     Targets are selected by register-name prefix, so a campaign can aim
+//     at the AES round state ("state", "rk") or the Camellia data path
+//     ("d1", "d2", "ks_subkey") specifically — glitched rounds change
+//     both the functional trace (propositions the PSM never saw) and the
+//     switching activity (power the per-state attributes never saw).
+//   - PerturbedStimulus: a Stimulus decorator modelling clock trouble:
+//     a stall repeats the previous input vector (clock gating hiccup), a
+//     drop forces all-zero inputs for one cycle (glitched input latch).
+//   - scalePowerModes: a PowerTrace perturbation modelling DVFS power-mode
+//     switches the training never exercised: alternating windows of the
+//     trace are scaled by a factor, which leaves the functional trace
+//     untouched and drives only the power-residual drift signal.
+//
+// Everything is deterministic in the seed, so campaigns are reproducible
+// and the fault bench (bench/table5_fault_injection.cpp) can be gated.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ip/ip_factory.hpp"
+#include "rtl/device.hpp"
+#include "rtl/stimulus.hpp"
+#include "trace/power_trace.hpp"
+
+namespace psmgen::ip {
+
+struct FaultConfig {
+  std::uint64_t seed = 0xFA17;
+  /// First cycle at which faults may fire (a campaign typically lets the
+  /// stream run clean first so drift-detection latency can be measured
+  /// from a known onset).
+  std::size_t onset_cycle = 0;
+  /// Probability per cycle (after onset) of injecting one bit flip.
+  double flip_rate = 0.01;
+  /// Register-name prefixes eligible for flips; empty means every
+  /// register. Prefixes that match nothing are ignored.
+  std::vector<std::string> target_prefixes;
+};
+
+/// Device decorator injecting register bit flips after each clock edge.
+/// The flip lands *after* tick(), so the power surrogate sees the upset's
+/// switching activity on the current cycle and the functional behaviour
+/// diverges from the next cycle on — the way a real SEU propagates.
+class FaultyDevice : public rtl::Device {
+ public:
+  FaultyDevice(std::unique_ptr<rtl::Device> inner, FaultConfig config);
+
+  const std::string& name() const override { return inner_->name(); }
+  const std::vector<rtl::PortDef>& inputPorts() const override {
+    return inner_->inputPorts();
+  }
+  const std::vector<rtl::PortDef>& outputPorts() const override {
+    return inner_->outputPorts();
+  }
+  const std::vector<const rtl::Register*>& registers() const override {
+    return inner_->registers();
+  }
+  std::vector<rtl::Register*> mutableRegisters() override {
+    return inner_->mutableRegisters();
+  }
+  std::size_t sourceLines() const override { return inner_->sourceLines(); }
+
+  /// Resets the inner device, the cycle counter and the fault RNG, so a
+  /// replayed campaign injects the identical fault sequence.
+  void reset() override;
+
+  void tick(const rtl::PortValues& in, rtl::PortValues& out) override;
+
+  /// Bit flips injected since the last reset().
+  std::size_t faultsInjected() const { return faults_injected_; }
+
+ private:
+  std::unique_ptr<rtl::Device> inner_;
+  FaultConfig config_;
+  common::Rng rng_;
+  /// Targets resolved once against the inner register file.
+  std::vector<rtl::Register*> targets_;
+  std::size_t cycle_ = 0;
+  std::size_t faults_injected_ = 0;
+};
+
+/// The default campaign for each benchmark IP: registers a DFA-style
+/// attacker would glitch (cipher round state / key pipeline) or, for the
+/// memoryless-datapath IPs, the whole register file.
+FaultConfig faultPreset(IpKind kind);
+
+/// Stimulus decorator for clock perturbations. Deterministic in the seed.
+class PerturbedStimulus : public rtl::Stimulus {
+ public:
+  struct Config {
+    std::uint64_t seed = 0xC10C;
+    std::size_t onset_cycle = 0;
+    /// Probability per cycle of repeating the previous input vector.
+    double stall_rate = 0.0;
+    /// Probability per cycle of forcing all-zero inputs.
+    double drop_rate = 0.0;
+  };
+
+  PerturbedStimulus(std::unique_ptr<rtl::Stimulus> inner, Config config);
+
+  rtl::PortValues next(std::size_t cycle) override;
+  void restart() override;
+
+  std::size_t perturbationsApplied() const { return applied_; }
+
+ private:
+  std::unique_ptr<rtl::Stimulus> inner_;
+  Config config_;
+  common::Rng rng_;
+  rtl::PortValues prev_;
+  std::size_t applied_ = 0;
+};
+
+/// Scales alternating `period`-sample windows of `trace` by `factor`
+/// starting at `onset` (even windows scaled, odd untouched): a square-wave
+/// DVFS power-mode pattern the per-state <mu, sigma> attributes never saw.
+void scalePowerModes(trace::PowerTrace& trace, std::size_t onset,
+                     std::size_t period, double factor);
+
+}  // namespace psmgen::ip

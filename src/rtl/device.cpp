@@ -55,6 +55,13 @@ std::size_t DeviceBase::addOutput(const std::string& port_name, unsigned width) 
   return outputs_.size() - 1;
 }
 
+std::vector<Register*> DeviceBase::mutableRegisters() {
+  std::vector<Register*> out;
+  out.reserve(registers_.size());
+  for (auto& r : registers_) out.push_back(r.get());
+  return out;
+}
+
 Register& DeviceBase::addRegister(const std::string& reg_name, unsigned width) {
   registers_.push_back(std::make_unique<Register>(reg_name, width));
   register_views_.push_back(registers_.back().get());

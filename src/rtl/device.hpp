@@ -66,6 +66,12 @@ class Device {
   /// Register-file introspection for the power surrogate.
   virtual const std::vector<const Register*>& registers() const = 0;
 
+  /// Mutable register access for fault injection (ip/fault.hpp): a fault
+  /// model flips stored bits *between* clock edges, exactly like an SEU
+  /// or a DFA glitch hits a physical flip-flop. Devices that do not
+  /// support injection return an empty vector (the default).
+  virtual std::vector<Register*> mutableRegisters() { return {}; }
+
   /// Number of source lines of the behavioural description (Table I
   /// "Lines" column surrogate; reported by each IP from its own model).
   virtual std::size_t sourceLines() const = 0;
@@ -85,6 +91,7 @@ class DeviceBase : public Device {
   const std::vector<const Register*>& registers() const override {
     return register_views_;
   }
+  std::vector<Register*> mutableRegisters() override;
 
   void tick(const PortValues& in, PortValues& out) final;
 

@@ -107,6 +107,10 @@ PredictorStats OnlinePredictor::predictStream(
     ++index;
   }
   obs::metrics().gauge("predict.wsp_percent").set(stats_.wspPercent());
+  obs::metrics().gauge("predict.lost_percent").set(stats_.lostPercent());
+  obs::metrics()
+      .gauge("predict.resyncs_per_kilorow")
+      .set(stats_.resyncsPerKiloRow());
   obs::metrics().gauge("predict.rows_per_second").set(stats_.rowsPerSecond());
   obs::debug("predict.stream_done",
              {{"rows", stats_.rows},

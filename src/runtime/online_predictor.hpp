@@ -30,13 +30,17 @@ namespace psmgen::runtime {
 /// Counters of one prediction stream (since construction or reset()).
 struct PredictorStats {
   std::size_t rows = 0;
-  /// Non-deterministic decisions the HMM filter resolved.
+  /// Non-deterministic successor choices the HMM filter resolved (same
+  /// definition as SimResult::predictions — resync guesses are excluded,
+  /// see DESIGN.md "Prediction accounting").
   std::size_t predictions = 0;
-  /// Predictions proven wrong (revert + penalize + re-route).
+  /// Predictions proven wrong (revert + penalize + re-route). Always
+  /// <= predictions, so wspPercent() is bounded by 100.
   std::size_t wrong_predictions = 0;
-  /// Assertion failures with no alternative path in the model.
+  /// Assertion failures on a deterministic path: behaviour the training
+  /// traces never covered. Disjoint from wrong_predictions.
   std::size_t unexpected_behaviours = 0;
-  /// Instants spent desynchronized from the model.
+  /// Rows that ended desynchronized from the model.
   std::size_t lost_instants = 0;
   /// Recoveries from a desynchronized stretch (lost -> synced, after the
   /// stream had synchronized at least once).
@@ -52,6 +56,16 @@ struct PredictorStats {
                ? 0.0
                : 100.0 * static_cast<double>(wrong_predictions) /
                      static_cast<double>(predictions);
+  }
+  double lostPercent() const {
+    return rows == 0 ? 0.0
+                     : 100.0 * static_cast<double>(lost_instants) /
+                           static_cast<double>(rows);
+  }
+  double resyncsPerKiloRow() const {
+    return rows == 0 ? 0.0
+                     : 1000.0 * static_cast<double>(resyncs) /
+                           static_cast<double>(rows);
   }
 };
 

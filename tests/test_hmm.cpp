@@ -122,5 +122,98 @@ TEST(Hmm, BestInitialUsesPi) {
   EXPECT_EQ(filter.bestInitial({0, 1}, kNoEvent), 1);
 }
 
+TEST(Hmm, PredictiveScoreGoldenValues) {
+  const Psm psm = diamond();
+  const Hmm hmm(psm);
+  Hmm::Filter filter(hmm);
+  // belief = pi = delta(s0): the score of j is exactly a(0, j).
+  EXPECT_NEAR(filter.predictiveScore(1, kNoEvent), 0.75, 1e-12);
+  EXPECT_NEAR(filter.predictiveScore(2, kNoEvent), 0.25, 1e-12);
+  // Event evidence multiplies in the B column: s1 never emits the idle
+  // assertion, so the same move scores 0 under that observation.
+  const EventId idle = hmm.eventOf(psm.state(0).assertion.alts[0]);
+  const EventId busy = hmm.eventOf(psm.state(1).assertion.alts[0]);
+  EXPECT_NEAR(filter.predictiveScore(1, idle), 0.0, 1e-12);
+  EXPECT_NEAR(filter.predictiveScore(1, busy), 0.75, 1e-12);
+}
+
+TEST(Hmm, RelaxRestoresPenalizedTransitions) {
+  const Psm psm = diamond();
+  const Hmm hmm(psm);
+  Hmm::Filter filter(hmm);
+  EXPECT_FALSE(filter.hasPenalties());
+  filter.penalize(0, 1);
+  EXPECT_TRUE(filter.hasPenalties());
+  EXPECT_EQ(filter.bestAmong({1, 2}, kNoEvent), 2);
+  // relax() lifts the penalty and restores the trained row.
+  filter.relax();
+  EXPECT_FALSE(filter.hasPenalties());
+  EXPECT_EQ(filter.bestAmong({1, 2}, kNoEvent), 1);
+  EXPECT_NEAR(filter.predictiveScore(1, kNoEvent), 0.75, 1e-12);
+}
+
+TEST(Hmm, PenalizeStateSuppressesInitialPriorUntilRelax) {
+  // The first mis-prediction of a stream has no source state to penalize
+  // a transition from; penalizeState must suppress the wrong state in the
+  // belief and in the initial-choice prior instead.
+  Psm psm = diamond();
+  psm.state(1).initial_count = 5;
+  psm.addInitial(1);
+  const Hmm hmm(psm);
+  Hmm::Filter filter(hmm);
+  EXPECT_EQ(filter.bestInitial({0, 1}, kNoEvent), 1);
+  filter.penalizeState(1);
+  EXPECT_TRUE(filter.hasPenalties());
+  EXPECT_EQ(filter.bestInitial({0, 1}, kNoEvent), 0);
+  EXPECT_NEAR(filter.belief()[1], 0.0, 1e-12);
+  double total = 0.0;
+  for (const double v : filter.belief()) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  filter.relax();
+  EXPECT_FALSE(filter.hasPenalties());
+  EXPECT_EQ(filter.bestInitial({0, 1}, kNoEvent), 1);
+}
+
+TEST(Hmm, UnknownEventStepKeepsBelief) {
+  // An event unknown everywhere (all-zero B column) must not zero the
+  // belief out: the filter keeps the previous distribution.
+  const Psm psm = diamond();
+  const Hmm hmm(psm);
+  Hmm::Filter filter(hmm);
+  const std::vector<double> before = filter.belief();
+  filter.step(kNoEvent);
+  EXPECT_EQ(filter.belief(), before);
+}
+
+TEST(Hmm, AbsorbingStateFallsBackToEmission) {
+  // A state with no outgoing transitions yields an all-zero A row; the
+  // filter must fall back to the emission likelihood instead of
+  // normalizing a zero vector.
+  Psm psm;
+  PowerState s0;
+  s0.assertion.alts.push_back(PatternSeq{{0, 1, true}});
+  s0.power = PowerAttr::single(1.0, 0.1, 10);
+  s0.initial_count = 1;
+  PowerState s1;
+  s1.assertion.alts.push_back(PatternSeq{{1, 0, true}});
+  s1.power = PowerAttr::single(2.0, 0.1, 10);
+  psm.addState(std::move(s0));
+  psm.addState(std::move(s1));
+  psm.addInitial(0);
+  psm.addTransition({0, 1, 1, 1});  // s1 is absorbing
+  const Hmm hmm(psm);
+  EXPECT_NEAR(hmm.a(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(hmm.a(1, 1), 0.0, 1e-12);
+  Hmm::Filter filter(hmm);
+  const EventId busy = hmm.eventOf(psm.state(1).assertion.alts[0]);
+  filter.step(busy);
+  EXPECT_NEAR(filter.belief()[1], 1.0, 1e-12);
+  filter.step(busy);  // zero predictive mass everywhere: emission fallback
+  EXPECT_NEAR(filter.belief()[1], 1.0, 1e-12);
+  double total = 0.0;
+  for (const double v : filter.belief()) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace psmgen::core

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "common/rng.hpp"
 #include "core/flow.hpp"
 #include "core/generator.hpp"
@@ -93,7 +95,14 @@ TEST(Simulator, UnknownPropositionCausesLostInstants) {
   // Mode 2 never appears in training: its proposition is unknown.
   const auto eval = modeTrace({{0, 5}, {2, 4}, {0, 5}});
   const SimResult r = b.flow->estimate(eval);
-  EXPECT_GE(r.lost_instants, 4u);
+  // Exactly the 4 unknown-proposition rows end desynchronized — each row
+  // is counted lost at most once, and the first mode-0 row after the
+  // stretch resynchronizes, so it is not lost.
+  EXPECT_EQ(r.lost_instants, 4u);
+  // The single violation happened on a deterministic path: it is an
+  // unexpected behaviour, never a wrong prediction.
+  EXPECT_EQ(r.wrong_predictions, 0u);
+  EXPECT_EQ(r.unexpected_behaviours, 1u);
   // After the unknown stretch the simulator resynchronizes on mode 0.
   EXPECT_NEAR(r.estimate.back(), 1.0, 1e-9);
 }
@@ -185,6 +194,196 @@ TEST(Simulator, WspPercentArithmetic) {
   r.predictions = 4;
   r.wrong_predictions = 1;
   EXPECT_DOUBLE_EQ(r.wspPercent(), 25.0);
+}
+
+TEST(Simulator, WrongPredictionsNeverExceedPredictions) {
+  // Violations on deterministic paths and failed resync guesses must not
+  // be booked against the filter: wrong <= predictions structurally.
+  const auto train = modeTrace({{0, 8}, {1, 5}, {0, 8}, {1, 5}, {2, 6},
+                                {1, 5}, {0, 8}});
+  Built b = buildFlow({train}, {1.0, 2.0, 3.0});
+  const auto eval = modeTrace({{0, 8}, {2, 6}, {0, 4}, {2, 6}, {1, 5},
+                               {0, 8}, {2, 3}, {1, 4}});
+  const SimResult r = b.flow->estimate(eval);
+  EXPECT_LE(r.wrong_predictions, r.predictions);
+  EXPECT_LE(r.wspPercent(), 100.0);
+}
+
+/// Hand-built proposition domain: one 2-bit variable "m" with one Eq atom
+/// per value, so PropId k <=> (m == k). Lets tests drive a Session against
+/// a hand-built PSM with exact control over every observation.
+struct TinyDomain {
+  PropositionDomain domain;
+  std::array<PropId, 4> p{};
+};
+
+TinyDomain tinyDomain() {
+  std::vector<AtomicProposition> atoms;
+  for (unsigned k = 0; k < 4; ++k) {
+    AtomicProposition a;
+    a.lhs = 0;
+    a.rhs_const = BitVector(2, k);
+    atoms.push_back(a);
+  }
+  TinyDomain d{PropositionDomain(modeVars(), std::move(atoms)), {}};
+  for (unsigned k = 0; k < 4; ++k) {
+    d.p[k] = d.domain.internRow({BitVector(2, k)});
+  }
+  return d;
+}
+
+std::vector<BitVector> modeRow(unsigned m) { return {BitVector(2, m)}; }
+
+TEST(Simulator, PenalizedTransitionRedirectsNextChoice) {
+  // Diamond with distinguishable branches: s0 -p1-> s1 (x3) | s2 (x1);
+  // s1 accepts p1 until p0, s2 accepts p1 until p2. Choosing s1 and then
+  // observing p2 is a wrong prediction; the transient penalty on s0 -> s1
+  // must redirect the next exit choice to s2.
+  TinyDomain d = tinyDomain();
+  Psm psm;
+  PowerState s0;
+  s0.assertion.alts.push_back(PatternSeq{{d.p[0], d.p[1], true}});
+  s0.power = PowerAttr::single(1.0, 0.1, 100);
+  s0.initial_count = 1;
+  PowerState s1;
+  s1.assertion.alts.push_back(PatternSeq{{d.p[1], d.p[0], true}});
+  s1.power = PowerAttr::single(5.0, 0.1, 60);
+  PowerState s2;
+  s2.assertion.alts.push_back(PatternSeq{{d.p[1], d.p[2], true}});
+  s2.power = PowerAttr::single(9.0, 0.1, 20);
+  psm.addState(std::move(s0));
+  psm.addState(std::move(s1));
+  psm.addState(std::move(s2));
+  psm.addInitial(0);
+  psm.addTransition({0, 1, d.p[1], 3});
+  psm.addTransition({0, 2, d.p[1], 1});
+  psm.addTransition({1, 0, d.p[0], 3});
+  const PsmSimulator sim(psm, d.domain);
+  auto session = sim.startSession();
+
+  session.step(modeRow(0));  // sole matching initial state: not a choice
+  session.step(modeRow(0));
+  session.step(modeRow(1));  // exit choice among {s1, s2}: picks s1 (3:1)
+  EXPECT_EQ(session.currentState(), 1);
+  EXPECT_EQ(session.predictions(), 1u);
+  EXPECT_EQ(session.wrongPredictions(), 0u);
+
+  session.step(modeRow(2));  // s1's assertion dies: wrong prediction
+  EXPECT_EQ(session.wrongPredictions(), 1u);
+  EXPECT_EQ(session.unexpectedBehaviours(), 0u);
+  EXPECT_EQ(session.currentState(), 0);  // reverted to the last valid state
+  EXPECT_TRUE(session.isLost());
+  EXPECT_EQ(session.lostInstants(), 1u);
+
+  session.step(modeRow(0));  // resynchronizes on s0: not a prediction
+  EXPECT_FALSE(session.isLost());
+  EXPECT_EQ(session.predictions(), 1u);
+  EXPECT_EQ(session.lostInstants(), 1u);
+
+  // The penalty is still active at the next exit: the 3:1 favourite s1 is
+  // suppressed and the filter must route to s2 instead.
+  const double power = session.step(modeRow(1));
+  EXPECT_EQ(session.currentState(), 2);
+  EXPECT_DOUBLE_EQ(power, 9.0);
+  EXPECT_EQ(session.predictions(), 2u);
+  EXPECT_EQ(session.wrongPredictions(), 1u);
+  EXPECT_LE(session.wrongPredictions(), session.predictions());
+}
+
+TEST(Simulator, FirstMispredictionPenalizesStateWithoutSource) {
+  // The very first entry of a stream has no last-valid state to revert
+  // to (revert_from_ is kNoState): a wrong initial choice must still be
+  // penalized — via penalizeState — so the following resynchronization
+  // cannot re-pick the branch that just failed.
+  TinyDomain d = tinyDomain();
+  Psm psm;
+  PowerState s0;
+  s0.assertion.alts.push_back(PatternSeq{{d.p[0], d.p[1], true}});
+  s0.power = PowerAttr::single(1.0, 0.1, 100);
+  PowerState s1;
+  s1.assertion.alts.push_back(PatternSeq{{d.p[1], d.p[0], true}});
+  s1.power = PowerAttr::single(5.0, 0.1, 60);
+  s1.initial_count = 3;
+  PowerState s2;
+  s2.assertion.alts.push_back(PatternSeq{{d.p[1], d.p[2], true}});
+  s2.power = PowerAttr::single(9.0, 0.1, 20);
+  s2.initial_count = 1;
+  psm.addState(std::move(s0));
+  psm.addState(std::move(s1));
+  psm.addState(std::move(s2));
+  psm.addInitial(1);
+  psm.addInitial(2);
+  psm.addTransition({1, 0, d.p[0], 3});
+  psm.addTransition({2, 0, d.p[2], 1});
+  psm.addTransition({2, 2, d.p[2], 1});
+  const PsmSimulator sim(psm, d.domain);
+  auto session = sim.startSession();
+
+  // Initial choice among {s1, s2}: pi favours s1 3:1.
+  session.step(modeRow(1));
+  EXPECT_EQ(session.currentState(), 1);
+  EXPECT_EQ(session.predictions(), 1u);
+
+  // p2 kills s1's assertion: a wrong prediction with no source state.
+  session.step(modeRow(2));
+  EXPECT_EQ(session.wrongPredictions(), 1u);
+  EXPECT_EQ(session.unexpectedBehaviours(), 0u);
+  EXPECT_EQ(session.currentState(), kNoState);
+  EXPECT_TRUE(session.isLost());
+  EXPECT_EQ(session.lostInstants(), 1u);
+
+  // Resynchronization on p1 again: both s1 and s2 match, but the
+  // penalized belief suppresses s1 — without penalizeState the training
+  // population tie-break would re-pick it. A resync guess is not a
+  // prediction, so the counter must not move.
+  session.step(modeRow(1));
+  EXPECT_EQ(session.currentState(), 2);
+  EXPECT_FALSE(session.isLost());
+  EXPECT_EQ(session.predictions(), 1u);
+  EXPECT_EQ(session.wrongPredictions(), 1u);
+}
+
+TEST(Simulator, CheckpointSurvivesLongDwell) {
+  // A forgone exit must stay revisitable across a dwell far longer than
+  // the backtrack bound: the buffer is bounded in *runs* of identical
+  // observations, and a 200-row dwell is a single run. (Bounding raw rows
+  // silently dropped the only correct reinterpretation on every long
+  // dwell — the RAM WSP blow-up.)
+  TinyDomain d = tinyDomain();
+  Psm psm;
+  PowerState sA;  // two alternatives: exit on p0 now, or absorb the p0 run
+  sA.assertion.alts.push_back(PatternSeq{{d.p[1], d.p[0], true}});
+  sA.assertion.alts.push_back(
+      PatternSeq{{d.p[1], d.p[0], true}, {d.p[0], d.p[2], true}});
+  sA.power = PowerAttr::single(2.0, 0.1, 10);
+  sA.initial_count = 1;
+  PowerState sB;
+  sB.assertion.alts.push_back(PatternSeq{{d.p[0], d.p[3], true}});
+  sB.power = PowerAttr::single(1.0, 0.1, 10);
+  PowerState sC;
+  sC.assertion.alts.push_back(PatternSeq{{d.p[3], d.p[1], true}});
+  sC.power = PowerAttr::single(7.0, 0.1, 10);
+  psm.addState(std::move(sA));
+  psm.addState(std::move(sB));
+  psm.addState(std::move(sC));
+  psm.addInitial(0);
+  psm.addTransition({0, 1, d.p[0], 1});
+  psm.addTransition({1, 2, d.p[3], 1});
+  const PsmSimulator sim(psm, d.domain);
+  auto session = sim.startSession();
+
+  session.step(modeRow(1));  // enter sA, both alternatives viable
+  // First p0: alternative 0 wants to exit (checkpointed), alternative 1
+  // survives into its second pattern and absorbs the dwell.
+  for (int i = 0; i < 200; ++i) session.step(modeRow(0));
+  // p3 kills the surviving interpretation; the checkpoint replays the
+  // buffered 200-row run through sB, which exits to sC on p3.
+  session.step(modeRow(3));
+  EXPECT_EQ(session.currentState(), 2);
+  EXPECT_FALSE(session.isLost());
+  EXPECT_EQ(session.wrongPredictions(), 0u);
+  EXPECT_EQ(session.unexpectedBehaviours(), 0u);
+  EXPECT_EQ(session.lostInstants(), 0u);
 }
 
 }  // namespace
