@@ -1,0 +1,109 @@
+// Speaking the prediction-service protocol from a client.
+//
+//   1. Train the RAM PSM and save it as a .psm artifact, exactly as
+//      train_then_predict does.
+//   2. Start an in-process serve::PredictionServer on an ephemeral
+//      loopback port — the same server `psmgen serve --psm ram.psm`
+//      runs, minus the CLI and signal plumbing.
+//   3. Connect with serve::Client: negotiate Hello/HelloOk (protocol
+//      version + model identity + variable schema), stream the
+//      evaluation trace in framed batches, read the estimate batches
+//      back in lockstep, and close with Fin/FinAck.
+//   4. Check the served estimates against a bare OnlinePredictor over
+//      the same artifact: the server must be bit-identical.
+//
+// Against a real `psmgen serve --serve-port 9465` process, only step 3
+// changes: connect(9465) instead of the in-process port. A non-C++
+// client reimplements the byte layout documented in serve/protocol.hpp.
+//
+// Build: cmake -B build -G Ninja && cmake --build build
+// Run:   ./build/examples/serve_client
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "ip/ip_factory.hpp"
+#include "power/gate_estimator.hpp"
+#include "runtime/online_predictor.hpp"
+#include "serialize/psm_artifact.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+int main() {
+  using namespace psmgen;
+  const std::string model_path = "/tmp/psmgen_example_serve_ram.psm";
+
+  // --- 1. Train and persist --------------------------------------------
+  auto device = ip::makeDevice(ip::IpKind::Ram);
+  power::GateLevelEstimator estimator(*device,
+                                      ip::powerConfig(ip::IpKind::Ram));
+  core::CharacterizationFlow flow;
+  for (const ip::TraceSpec& spec : ip::shortTSPlan(ip::IpKind::Ram)) {
+    auto tb = ip::makeTestbench(ip::IpKind::Ram, ip::TestsetMode::Short,
+                                spec.seed);
+    auto pair = estimator.run(*tb, spec.cycles);
+    flow.addTrainingTrace(std::move(pair.functional), std::move(pair.power));
+  }
+  flow.build();
+  serialize::savePsmModel(model_path, flow.psm(), flow.domain());
+
+  // --- 2. Serve the artifact -------------------------------------------
+  const serialize::PsmModel model = serialize::loadPsmModel(model_path);
+  serve::ServerConfig config;
+  config.port = 0;  // ephemeral; a deployment pins --serve-port
+  config.model_id = model_path;
+  serve::PredictionServer server(model, config);
+  if (!server.listen()) return 1;
+  server.start();
+  std::printf("serving %s on 127.0.0.1:%u\n", model_path.c_str(),
+              server.port());
+
+  // The workload: an unseen trace, kept in memory here for brevity.
+  auto tb = ip::makeTestbench(ip::IpKind::Ram, ip::TestsetMode::Long, 4242);
+  const trace::FunctionalTrace eval = estimator.run(*tb, 2000).functional;
+
+  // --- 3. One client session -------------------------------------------
+  serve::Client client;
+  if (!client.connect(server.port())) return 1;
+  // Passing the model id pins which artifact we expect; an empty string
+  // accepts whatever the server serves. A mismatched protocol version,
+  // model id, or variable schema throws serve::RemoteError here.
+  const serve::HelloReply reply = client.hello(model_path);
+  std::printf("negotiated v%u: %u states, %u transitions\n", reply.version,
+              reply.states, reply.transitions);
+
+  std::vector<double> served;
+  const std::size_t batch = 256;
+  for (std::size_t off = 0; off < eval.length(); off += batch) {
+    std::vector<std::vector<common::BitVector>> rows;
+    for (std::size_t i = off; i < std::min(off + batch, eval.length()); ++i) {
+      rows.push_back(eval.step(i));
+    }
+    // One Rows frame in, one Est frame out: the lockstep reply is the
+    // client's flow control — nothing more is sent until this answer
+    // arrived, so neither side buffers unboundedly.
+    for (const serve::EstRow& est : client.predict(rows)) {
+      served.push_back(est.estimate);
+      if (est.flags & serve::kEstFlagResync) {
+        std::printf("  resync at row %zu\n", served.size() - 1);
+      }
+    }
+  }
+  const serve::FinSummary summary = client.finish();
+  std::printf("served %llu rows, %llu predictions, %llu resyncs\n",
+              static_cast<unsigned long long>(summary.rows),
+              static_cast<unsigned long long>(summary.predictions),
+              static_cast<unsigned long long>(summary.resyncs));
+
+  server.stop();
+
+  // --- 4. Fidelity check ------------------------------------------------
+  runtime::OnlinePredictor bare(model);
+  const std::vector<double> expected = bare.predictTrace(eval);
+  const bool exact = served == expected;
+  std::printf("served == bare OnlinePredictor: %s\n",
+              exact ? "yes (bit-identical)" : "NO");
+  return exact ? 0 : 1;
+}

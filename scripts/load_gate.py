@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Serving-load gate over bench/table6_serving output.
+
+The bench emits a one-entry JSON array::
+
+    [{"ip": "RAM", "metrics": {"gauges": {"bench.serve.rows_per_second": N,
+                                          "bench.serve.frame_p99_ms": M,
+                                          "bench.serve.corrupted_frames": 0,
+                                          ...}}}]
+
+Three checks, against the committed baseline (BENCH_table6.json at the
+repo root):
+
+* correctness is absolute — ``bench.serve.corrupted_frames`` and
+  ``bench.serve.errors`` must be exactly zero in every candidate run, no
+  tolerance, no best-of;
+* throughput (``bench.serve.rows_per_second``) must not fall more than
+  ``--tolerance`` (default 40%) below the baseline, best-of across
+  candidate runs to damp scheduler noise;
+* tail latency (``bench.serve.frame_p99_ms``) must not rise more than
+  ``1/(1-tolerance)`` above the baseline, best-of (minimum) across runs.
+
+The latency tolerance is deliberately generous: p99 on a shared CI
+runner is noisy, and the gate exists to catch a serialization point or
+an accidental O(sessions) scan, not 10% jitter.
+
+Usage::
+
+    scripts/load_gate.py --baseline BENCH_table6.json run1.json run2.json
+    scripts/load_gate.py --baseline BENCH_table6.json --update run1.json
+
+PSMGEN_LOAD_TOLERANCE (a fraction) overrides the default tolerance; the
+command-line flag wins.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+THROUGHPUT = "bench.serve.rows_per_second"
+P99 = "bench.serve.frame_p99_ms"
+ZERO_METRICS = ("bench.serve.corrupted_frames", "bench.serve.errors")
+DEFAULT_TOLERANCE = 0.40
+
+
+def load_gauges(path):
+    """Returns the gauges dict of the single-entry table6 JSON file."""
+    with open(path, "r", encoding="utf-8") as f:
+        entries = json.load(f)
+    if not isinstance(entries, list) or len(entries) != 1:
+        raise ValueError(f"{path}: expected a one-entry JSON array")
+    gauges = entries[0]["metrics"]["gauges"]
+    for metric in (THROUGHPUT, P99) + ZERO_METRICS:
+        if metric not in gauges:
+            raise ValueError(f"{path}: missing gauge {metric!r}")
+    return gauges
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidates", nargs="+",
+                        help="fresh table6_serving JSON output(s)")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON (e.g. BENCH_table6.json)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed fractional degradation (default "
+                             f"{DEFAULT_TOLERANCE}, or PSMGEN_LOAD_TOLERANCE)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the best candidate "
+                             "run instead of gating")
+    args = parser.parse_args()
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(os.environ.get("PSMGEN_LOAD_TOLERANCE",
+                                         DEFAULT_TOLERANCE))
+    if not 0.0 < tolerance < 1.0:
+        parser.error(f"tolerance must be in (0, 1), got {tolerance}")
+
+    # Correctness first, on every run: a single corrupted frame is a bug
+    # whatever the throughput numbers say.
+    dirty = False
+    for path in args.candidates:
+        gauges = load_gauges(path)
+        for metric in ZERO_METRICS:
+            if float(gauges[metric]) != 0.0:
+                print(f"FAIL: {path}: {metric} = {gauges[metric]} "
+                      "(must be exactly 0)")
+                dirty = True
+    if dirty:
+        return 1
+
+    if args.update:
+        best_path = max(args.candidates,
+                        key=lambda p: float(load_gauges(p)[THROUGHPUT]))
+        with open(best_path, "r", encoding="utf-8") as f:
+            payload = f.read()
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            f.write(payload)
+        print(f"baseline {args.baseline} updated from {best_path}")
+        return 0
+
+    base = load_gauges(args.baseline)
+    best_rps = max(float(load_gauges(p)[THROUGHPUT])
+                   for p in args.candidates)
+    best_p99 = min(float(load_gauges(p)[P99]) for p in args.candidates)
+
+    failed = False
+    print(f"load gate: tolerance {tolerance:.0%}, "
+          f"best of {len(args.candidates)} run(s)")
+
+    base_rps = float(base[THROUGHPUT])
+    rps_ratio = best_rps / base_rps
+    rps_ok = rps_ratio >= 1.0 - tolerance
+    failed = failed or not rps_ok
+    print(f"{THROUGHPUT:<32} {base_rps:>14.0f} {best_rps:>14.0f} "
+          f"{rps_ratio:>8.2f}  {'ok' if rps_ok else 'REGRESSION'}")
+
+    base_p99 = float(base[P99])
+    p99_ratio = best_p99 / base_p99 if base_p99 > 0.0 else 1.0
+    p99_ok = p99_ratio <= 1.0 / (1.0 - tolerance)
+    failed = failed or not p99_ok
+    print(f"{P99:<32} {base_p99:>14.2f} {best_p99:>14.2f} "
+          f"{p99_ratio:>8.2f}  {'ok' if p99_ok else 'REGRESSION'}")
+
+    if failed:
+        print(f"FAIL: serving load degraded beyond {tolerance:.0%} of the "
+              f"committed baseline ({args.baseline}). If the change is "
+              "intended, refresh the baseline with --update.")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "obs/log.hpp"
@@ -41,6 +42,8 @@ const char* HttpServer::reasonPhrase(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Unknown";
@@ -119,19 +122,44 @@ void HttpServer::acceptLoop() {
 }
 
 void HttpServer::serveConnection(int fd) {
-  // A slow or dead client must not wedge the accept loop forever.
+  // A slow or dead client must not wedge the accept loop forever. The
+  // per-recv socket timeout alone is not enough: a slowloris dripping a
+  // byte every few seconds resets it indefinitely, so the whole request
+  // head is additionally under one wall-clock deadline.
+  const int deadline_ms = request_deadline_ms_.load(std::memory_order_relaxed);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
   timeval timeout{};
   timeout.tv_sec = 5;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
 
   std::string head;
+  bool timed_out = false;
   char buf[1024];
   while (head.find("\r\n\r\n") == std::string::npos &&
          head.size() < kMaxRequestBytes) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      timed_out = true;
+      break;
+    }
+    timeval recv_timeout{};
+    recv_timeout.tv_sec = remaining.count() / 1000;
+    recv_timeout.tv_usec =
+        static_cast<suseconds_t>((remaining.count() % 1000) * 1000);
+    if (recv_timeout.tv_sec == 0 && recv_timeout.tv_usec == 0) {
+      recv_timeout.tv_usec = 1000;
+    }
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &recv_timeout,
+                 sizeof(recv_timeout));
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        timed_out = true;  // socket timeout fired; the deadline is spent
+        break;
+      }
       if (head.empty()) return;  // client connected and went away
       break;
     }
@@ -142,6 +170,23 @@ void HttpServer::serveConnection(int fd) {
   Response response;
   std::string method;
   std::string path;
+  if (timed_out && head.find("\r\n\r\n") == std::string::npos) {
+    metrics().counter("http.request_timeouts").add(1);
+    warn("http.request_timeout",
+         {{"bytes_read", head.size()}, {"deadline_ms", deadline_ms}});
+    response = {408, "text/plain; charset=utf-8", "request timeout\n"};
+    respond(fd, "", response);
+    return;
+  }
+  if (head.size() >= kMaxRequestBytes &&
+      head.find("\r\n\r\n") == std::string::npos) {
+    metrics().counter("http.oversized_requests").add(1);
+    warn("http.oversized_request", {{"bytes_read", head.size()}});
+    response = {431, "text/plain; charset=utf-8",
+                "request header too large\n"};
+    respond(fd, "", response);
+    return;
+  }
   const std::size_t line_end = head.find("\r\n");
   const std::size_t sp1 = head.find(' ');
   const std::size_t sp2 =
@@ -171,10 +216,14 @@ void HttpServer::serveConnection(int fd) {
       }
     }
   }
-  if (response.status != 200) metrics().counter("http.errors").add(1);
   debug("http.request",
         {{"method", method}, {"path", path}, {"status", response.status}});
+  respond(fd, method, response);
+}
 
+void HttpServer::respond(int fd, const std::string& method,
+                         const Response& response) {
+  if (response.status != 200) metrics().counter("http.errors").add(1);
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + ' ' +
                     reasonPhrase(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";

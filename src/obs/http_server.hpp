@@ -65,11 +65,22 @@ class HttpServer {
 
   bool running() const { return running_.load(std::memory_order_relaxed); }
 
+  /// Total wall-clock budget for reading one request head (default
+  /// 5000 ms). This is a *request* deadline, not a per-recv() timeout: a
+  /// slowloris client dripping one byte per poll interval used to reset
+  /// the socket timeout forever and wedge the single-threaded accept
+  /// loop; now it gets a 408 when the budget runs out. Set before
+  /// start(); tests shrink it to keep the suite fast.
+  void setRequestDeadlineMs(int ms) {
+    request_deadline_ms_.store(ms, std::memory_order_relaxed);
+  }
+
   static const char* reasonPhrase(int status);
 
  private:
   void acceptLoop();
   void serveConnection(int fd);
+  void respond(int fd, const std::string& method, const Response& response);
 
   std::map<std::string, Handler> routes_;
   // Written by listen()/stop() on the controlling thread and read by the
@@ -78,6 +89,7 @@ class HttpServer {
   std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
+  std::atomic<int> request_deadline_ms_{5000};
   std::thread thread_;
 };
 

@@ -1,0 +1,83 @@
+#pragma once
+// Blocking client for the prediction service protocol.
+//
+// The reference consumer of serve/protocol.hpp: connects to a
+// PredictionServer on loopback, negotiates Hello/HelloOk, streams row
+// batches and reads back estimate batches in lockstep, and closes with
+// Fin/FinAck. Used by the load-generator bench (bench/table6_serving),
+// the server tests, and examples/serve_client; a non-C++ client only
+// needs to reproduce the byte layout documented in protocol.hpp.
+//
+// An Error frame from the server surfaces as a thrown RemoteError
+// carrying the wire code, so callers can distinguish a drain
+// (ErrorCode::Draining) from a rejection (Busy, VersionMismatch, ...).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "serve/protocol.hpp"
+
+namespace psmgen::serve {
+
+/// An Error frame received from the server.
+class RemoteError : public std::runtime_error {
+ public:
+  explicit RemoteError(ErrorFrame error)
+      : std::runtime_error(std::string(errorCodeName(error.code)) + ": " +
+                           error.message),
+        error_(std::move(error)) {}
+  ErrorCode code() const { return error_.code; }
+  const std::string& message() const { return error_.message; }
+
+ private:
+  ErrorFrame error_;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:`port`. Returns false on connect failure.
+  bool connect(std::uint16_t port);
+
+  /// Negotiates the session. `model_id` and `variables` may be empty to
+  /// accept whatever the server serves. Throws RemoteError on rejection
+  /// and ProtocolError / std::runtime_error on transport garbage.
+  HelloReply hello(const std::string& model_id = "",
+                   const std::string& variables = "",
+                   std::uint32_t version = kProtocolVersion);
+
+  /// Sends one Rows frame and waits for the matching Est frame.
+  std::vector<EstRow> predict(
+      const std::vector<std::vector<common::BitVector>>& rows);
+
+  /// Sends raw pre-encoded bytes (tests use this to speak garbage).
+  bool sendRaw(const std::string& bytes);
+
+  /// Sends Fin and waits for the FinAck summary.
+  FinSummary finish();
+
+  /// Reads the next frame off the socket (blocking). Throws
+  /// std::runtime_error when the server closes the connection first.
+  Frame readFrame();
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  /// Reads until the decoder yields a frame; translates Error frames
+  /// into RemoteError.
+  Frame readExpected(FrameType type);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace psmgen::serve

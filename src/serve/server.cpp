@@ -1,0 +1,231 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace psmgen::serve {
+
+namespace {
+
+bool sendAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // peer gone, or SO_SNDTIMEO expired (slow client)
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void setTimeoutMs(int fd, int option, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+/// Receive poll granularity: the connection loop wakes this often to
+/// notice drain and to advance the idle clock, whatever the client does.
+constexpr int kRecvPollMs = 100;
+
+}  // namespace
+
+PredictionServer::PredictionServer(const serialize::PsmModel& model,
+                                   ServerConfig config)
+    : model_(model), config_(std::move(config)) {}
+
+PredictionServer::~PredictionServer() { stop(); }
+
+bool PredictionServer::listen() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    obs::error("serve.socket_failed", {{"errno", std::strerror(errno)}});
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, config_.backlog) < 0) {
+    obs::error("serve.bind_failed",
+               {{"port", config_.port}, {"errno", std::strerror(errno)}});
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  return true;
+}
+
+void PredictionServer::start() {
+  if (listen_fd_.load(std::memory_order_acquire) < 0 || running()) return;
+  running_.store(true, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { acceptLoop(); });
+  obs::info("serve.listening",
+            {{"port", port_},
+             {"max_sessions", config_.max_sessions},
+             {"rows_per_second", config_.rows_per_second}});
+}
+
+void PredictionServer::beginDrain() {
+  if (draining_.exchange(true, std::memory_order_relaxed)) return;
+  obs::metrics().gauge("serve.draining").set(1.0);
+  obs::info("serve.draining",
+            {{"active_sessions", active_.load(std::memory_order_relaxed)}});
+  // Closing the listener both refuses new connects at the kernel and
+  // unblocks the accept loop; live sessions notice the flag at their
+  // next recv poll, after answering the frames already consumed.
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+void PredictionServer::stop() {
+  const bool was_running = running_.exchange(false, std::memory_order_relaxed);
+  beginDrain();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto& conn : conns_) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    conns_.clear();
+  }
+  if (was_running) {
+    obs::info("serve.stopped",
+              {{"sessions_total", total_.load(std::memory_order_relaxed)}});
+  }
+}
+
+void PredictionServer::reapFinishedLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PredictionServer::acceptLoop() {
+  while (running()) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;  // drain/stop reclaimed the socket
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down
+    }
+    setTimeoutMs(fd, SO_SNDTIMEO, config_.io_timeout_ms);
+    if (active_.load(std::memory_order_relaxed) >= config_.max_sessions) {
+      obs::metrics().counter("serve.sessions_rejected").add(1);
+      sendAll(fd, encodeError({ErrorCode::Busy,
+                               "session cap of " +
+                                   std::to_string(config_.max_sessions) +
+                                   " reached"}));
+      ::close(fd);
+      continue;
+    }
+    total_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t now_active =
+        active_.fetch_add(1, std::memory_order_relaxed) + 1;
+    obs::metrics().counter("serve.sessions_total").add(1);
+    obs::metrics()
+        .gauge("serve.sessions_active")
+        .set(static_cast<double>(now_active));
+    auto conn = std::make_unique<Conn>();
+    Conn* raw = conn.get();
+    conn->thread = std::thread([this, fd, raw] {
+      runConnection(fd);
+      raw->done.store(true, std::memory_order_release);
+    });
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.push_back(std::move(conn));
+    reapFinishedLocked();
+  }
+}
+
+void PredictionServer::runConnection(int fd) {
+  setTimeoutMs(fd, SO_RCVTIMEO, kRecvPollMs);
+  Session::Config scfg;
+  scfg.model_id = config_.model_id;
+  scfg.max_frame_payload = config_.max_frame_payload;
+  scfg.rows_per_second = config_.rows_per_second;
+  scfg.quality = config_.quality;
+  Session session(model_, scfg);
+
+  std::string out;
+  char buf[16384];
+  int idle_ms = 0;
+  for (;;) {
+    if (draining()) {
+      out.clear();
+      session.abort(ErrorCode::Draining, "server is draining", out);
+      sendAll(fd, out);  // best effort; we are closing either way
+      break;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      idle_ms = 0;
+      out.clear();
+      const bool alive = session.consume(buf, static_cast<std::size_t>(n), out);
+      // Flush-before-read is the backpressure: while this send blocks on
+      // a slow client we consume nothing more from the socket.
+      if (!out.empty() && !sendAll(fd, out)) {
+        obs::metrics().counter("serve.slow_client_drops").add(1);
+        break;
+      }
+      if (!alive) break;
+    } else if (n == 0) {
+      break;  // peer closed without Fin; counters die with the session
+    } else if (errno == EINTR) {
+      continue;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      idle_ms += kRecvPollMs;
+      if (idle_ms >= config_.idle_timeout_ms) {
+        out.clear();
+        session.abort(ErrorCode::IdleTimeout,
+                      "no data for " + std::to_string(idle_ms) + " ms", out);
+        sendAll(fd, out);
+        break;
+      }
+    } else {
+      break;
+    }
+  }
+  ::close(fd);
+  const std::size_t now_active =
+      active_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  obs::metrics()
+      .gauge("serve.sessions_active")
+      .set(static_cast<double>(now_active));
+  obs::debug("serve.session_closed",
+             {{"rows", session.rows()},
+              {"state", static_cast<int>(session.state())}});
+}
+
+}  // namespace psmgen::serve

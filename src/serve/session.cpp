@@ -1,0 +1,185 @@
+#include "serve/session.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "serialize/psm_artifact.hpp"
+#include "trace/trace_io.hpp"
+
+namespace psmgen::serve {
+
+namespace {
+
+/// Burst capacity of the per-session token bucket: one second's worth of
+/// rows, so a client that paces itself never stalls and a client that
+/// bursts is smoothed to the configured rate.
+std::unique_ptr<obs::RateLimiter> makeLimiter(double rows_per_second) {
+  if (rows_per_second <= 0.0) return nullptr;
+  return std::make_unique<obs::RateLimiter>(rows_per_second, rows_per_second);
+}
+
+}  // namespace
+
+Session::Session(const serialize::PsmModel& model, Config config)
+    : model_(model),
+      config_(std::move(config)),
+      predictor_(model),
+      monitor_(predictor_, model.psm, config_.quality),
+      decoder_(config_.max_frame_payload),
+      limiter_(makeLimiter(config_.rows_per_second)) {}
+
+bool Session::consume(const void* data, std::size_t size, std::string& out) {
+  if (state_ == State::Done || state_ == State::Failed) return false;
+  try {
+    decoder_.feed(data, size);
+    while (auto frame = decoder_.next()) {
+      if (!handleFrame(*frame, out)) return false;
+    }
+  } catch (const ProtocolError& e) {
+    fail(e.code(), e.what(), out);
+    return false;
+  } catch (const std::exception& e) {
+    fail(ErrorCode::Internal, e.what(), out);
+    return false;
+  }
+  return true;
+}
+
+void Session::abort(ErrorCode code, const std::string& message,
+                    std::string& out) {
+  if (state_ == State::Done || state_ == State::Failed) return;
+  fail(code, message, out);
+}
+
+FinSummary Session::summary() const {
+  const runtime::PredictorStats& s = predictor_.stats();
+  FinSummary fin;
+  fin.rows = s.rows;
+  fin.predictions = s.predictions;
+  fin.wrong_predictions = s.wrong_predictions;
+  fin.unexpected_behaviours = s.unexpected_behaviours;
+  fin.lost_instants = s.lost_instants;
+  fin.resyncs = s.resyncs;
+  fin.drift_status = static_cast<std::uint8_t>(monitor_.status());
+  return fin;
+}
+
+bool Session::handleFrame(const Frame& frame, std::string& out) {
+  obs::metrics().counter("serve.frames_total").add(1);
+  switch (state_) {
+    case State::AwaitHello: {
+      if (frame.type != FrameType::Hello) {
+        throw ProtocolError(ErrorCode::Protocol,
+                            "expected Hello as the first frame");
+      }
+      const HelloRequest hello = decodeHello(frame.payload);
+      if (hello.version != kProtocolVersion) {
+        throw ProtocolError(
+            ErrorCode::VersionMismatch,
+            "protocol version " + std::to_string(hello.version) +
+                " not supported (server speaks " +
+                std::to_string(kProtocolVersion) + ")");
+      }
+      if (!hello.model_id.empty() && hello.model_id != config_.model_id) {
+        throw ProtocolError(ErrorCode::BadModel,
+                            "this server serves '" + config_.model_id +
+                                "', not '" + hello.model_id + "'");
+      }
+      const std::string served_vars =
+          trace::formatVariableDeclaration(model_.domain.variables());
+      if (!hello.variables.empty() && hello.variables != served_vars) {
+        throw ProtocolError(ErrorCode::BadVariables,
+                            "variable declaration mismatch: model is '" +
+                                served_vars + "'");
+      }
+      HelloReply reply;
+      reply.version = kProtocolVersion;
+      reply.model_id = config_.model_id;
+      reply.psm_format_version = serialize::kFormatVersion;
+      reply.states = static_cast<std::uint32_t>(model_.psm.stateCount());
+      reply.transitions =
+          static_cast<std::uint32_t>(model_.psm.transitionCount());
+      reply.variables = served_vars;
+      out += encodeHelloOk(reply);
+      state_ = State::Streaming;
+      return true;
+    }
+    case State::Streaming: {
+      if (frame.type == FrameType::Fin) {
+        out += encodeFinAck(summary());
+        state_ = State::Done;
+        return false;
+      }
+      if (frame.type != FrameType::Rows) {
+        throw ProtocolError(ErrorCode::Protocol,
+                            "expected Rows or Fin while streaming");
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto rows = decodeRows(frame.payload, model_.domain.variables());
+      std::vector<EstRow> estimates;
+      estimates.reserve(rows.size());
+      for (const auto& row : rows) {
+        if (limiter_) {
+          bool stalled = false;
+          while (!limiter_->tick().allowed) {
+            if (!stalled) {
+              obs::metrics().counter("serve.backpressure_stalls").add(1);
+              stalled = true;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+        const runtime::PredictorStats before = predictor_.stats();
+        EstRow est;
+        est.estimate = monitor_.predictRow(row);
+        const runtime::PredictorStats& after = predictor_.stats();
+        if (predictor_.isLost()) est.flags |= kEstFlagLost;
+        if (after.wrong_predictions != before.wrong_predictions) {
+          est.flags |= kEstFlagWrongPrediction;
+        }
+        if (after.unexpected_behaviours != before.unexpected_behaviours) {
+          est.flags |= kEstFlagUnexpected;
+        }
+        if (after.resyncs != before.resyncs) est.flags |= kEstFlagResync;
+        estimates.push_back(est);
+      }
+      rows_ += rows.size();
+      obs::metrics().counter("serve.rows_total").add(rows.size());
+      obs::metrics()
+          .histogram("serve.frame_latency_ms")
+          .record(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+      out += encodeEst(estimates);
+      return true;
+    }
+    case State::Done:
+    case State::Failed:
+      return false;
+  }
+  return false;
+}
+
+void Session::fail(ErrorCode code, const std::string& message,
+                   std::string& out) {
+  // Administrative closes (drain, idle, capacity) are drops, not peer
+  // protocol violations; the two counters answer different questions.
+  if (code == ErrorCode::Draining || code == ErrorCode::IdleTimeout ||
+      code == ErrorCode::Busy) {
+    obs::metrics().counter("serve.sessions_dropped").add(1);
+  } else {
+    obs::metrics().counter("serve.protocol_errors").add(1);
+  }
+  static obs::RateLimiter error_warn_limiter(/*tokens_per_second=*/1.0,
+                                             /*burst=*/5.0);
+  if (const auto d = error_warn_limiter.tick(); d.allowed) {
+    obs::warn("serve.session_error", {{"code", errorCodeName(code)},
+                                      {"message", message},
+                                      {"suppressed", d.suppressed}});
+  }
+  out += encodeError({code, message});
+  state_ = State::Failed;
+}
+
+}  // namespace psmgen::serve

@@ -26,7 +26,10 @@
 // --metrics-out / --trace-out settings; every diagnostic goes through
 // the structured logger on stderr (obs/log.hpp).
 
+#include <csignal>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -52,6 +55,7 @@
 #include "runtime/quality_monitor.hpp"
 #include "runtime/streaming_reader.hpp"
 #include "serialize/psm_artifact.hpp"
+#include "serve/server.hpp"
 #include "trace/trace_io.hpp"
 
 namespace {
@@ -68,7 +72,12 @@ int usage() {
       "[--chunk N]\n"
       "  psmgen lint     --psm model.psm [--json] [--werror] "
       "[--suppress ID[,ID...]] [--epsilon E]\n"
-      "  psmgen serve    --psm model.psm [--eval E.csv] [--ref E.pw] "
+      "  psmgen serve    --psm model.psm [--serve-port N] "
+      "[--serve-port-file F] [--max-sessions N]\n"
+      "                  [--rate ROWS_PER_S] [--idle-timeout-ms N] "
+      "[--port N] [--port-file F]\n"
+      "                  [--window N] [--drift-wsp PCT] [--drift-z Z]\n"
+      "  psmgen serve    --stdio --psm model.psm [--eval E.csv] [--ref E.pw] "
       "[--port N] [--port-file F]\n"
       "                  [--window N] [--drift-wsp PCT] [--drift-z Z] "
       "[--linger-ms N] [--chunk N]\n"
@@ -95,9 +104,24 @@ int usage() {
       "  --chunk N          rows buffered by the streaming predictor "
       "(default 4096)\n"
       "\n"
-      "serve (reads trace rows from --eval or stdin; estimates go to "
-      "stdout as with predict,\nwhile a second thread serves GET "
-      "/metrics /healthz /readyz /buildinfo on 127.0.0.1):\n"
+      "serve (default: multi-client TCP prediction server speaking the "
+      "psmgen.serve.v1 framed\nprotocol on 127.0.0.1, one predictor "
+      "session per connection, graceful drain on\nSIGINT/SIGTERM; "
+      "--stdio restores the single-stream mode: rows from --eval or "
+      "stdin,\nestimates on stdout byte-identical to predict. Both "
+      "modes serve GET /metrics /healthz\n/readyz /buildinfo on a "
+      "second port):\n"
+      "  --stdio            single-stream stdin/stdout mode "
+      "(byte-identical to predict)\n"
+      "  --serve-port N     prediction protocol port "
+      "(default 9465; 0 = ephemeral)\n"
+      "  --serve-port-file F  write the bound prediction port to F\n"
+      "  --max-sessions N   live-session cap; over-cap connects get "
+      "Error{busy} (default 256)\n"
+      "  --rate R           per-session row rate limit in rows/s "
+      "(0 = unlimited [default])\n"
+      "  --idle-timeout-ms N  drop sessions idle this long "
+      "(default 30000)\n"
       "  --port N           HTTP port (default 9464; 0 = ephemeral)\n"
       "  --port-file F      write the bound port to F (for --port 0)\n"
       "  --window N         drift-detection sliding window rows "
@@ -138,6 +162,12 @@ struct Args {
   // serve endpoint surface.
   int port = 9464;
   std::string port_file;
+  bool stdio = false;
+  int serve_port = 9465;
+  std::string serve_port_file;
+  std::size_t max_sessions = 256;
+  double rate = 0.0;
+  long idle_timeout_ms = 30000;
   std::size_t window = 2048;
   double drift_wsp = 35.0;
   double drift_z = 6.0;
@@ -223,6 +253,48 @@ bool parse(int argc, char** argv, Args& args) {
       args.port = static_cast<int>(n);
     } else if (flag == "--port-file") {
       if (!value(args.port_file)) return false;
+    } else if (flag == "--stdio") {
+      args.stdio = true;
+    } else if (flag == "--serve-port") {
+      std::string v;
+      if (!value(v)) return false;
+      const long n = std::atol(v.c_str());
+      if (n < 0 || n > 65535) {
+        obs::error("cli.bad_flag",
+                   {{"flag", flag}, {"why", "expects a port in [0, 65535]"}});
+        return false;
+      }
+      args.serve_port = static_cast<int>(n);
+    } else if (flag == "--serve-port-file") {
+      if (!value(args.serve_port_file)) return false;
+    } else if (flag == "--max-sessions") {
+      std::string v;
+      if (!value(v)) return false;
+      const long n = std::atol(v.c_str());
+      if (n <= 0) {
+        obs::error("cli.bad_flag",
+                   {{"flag", flag}, {"why", "expects a positive count"}});
+        return false;
+      }
+      args.max_sessions = static_cast<std::size_t>(n);
+    } else if (flag == "--rate") {
+      std::string v;
+      if (!value(v)) return false;
+      args.rate = std::atof(v.c_str());
+      if (args.rate < 0.0) {
+        obs::error("cli.bad_flag",
+                   {{"flag", flag}, {"why", "expects rows/s >= 0"}});
+        return false;
+      }
+    } else if (flag == "--idle-timeout-ms") {
+      std::string v;
+      if (!value(v)) return false;
+      args.idle_timeout_ms = std::atol(v.c_str());
+      if (args.idle_timeout_ms <= 0) {
+        obs::error("cli.bad_flag",
+                   {{"flag", flag}, {"why", "expects milliseconds > 0"}});
+        return false;
+      }
     } else if (flag == "--window") {
       std::string v;
       if (!value(v)) return false;
@@ -579,24 +651,47 @@ int printVersion() {
   return 0;
 }
 
-int runServe(const Args& args) {
-  const auto load0 = std::chrono::steady_clock::now();
-  const serialize::PsmModel model = serialize::loadPsmModel(args.psm);
-  const double cold_load_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - load0)
-          .count();
-  // /metrics is the point of serve: the registry runs enabled regardless
-  // of --metrics-out (results on stdout stay byte-identical either way).
-  obs::metrics().setEnabled(true);
-  obs::metrics().gauge("predict.cold_load_ms").set(cold_load_ms);
-  obs::info("serve.loaded_model",
-            {{"path", args.psm},
-             {"states", model.psm.stateCount()},
-             {"transitions", model.psm.transitionCount()},
-             {"propositions", model.domain.size()},
-             {"cold_load_ms", cold_load_ms}});
+// SIGINT/SIGTERM flip this; the serve loops poll it to begin a graceful
+// drain. std::atomic<bool> is async-signal-safe when lock-free, which it
+// is on every platform psmgen targets.
+std::atomic<bool> g_shutdown{false};
 
+extern "C" void handleShutdownSignal(int) {
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+/// sigaction (not signal()) and deliberately no SA_RESTART, so a
+/// blocking read on stdin wakes with EINTR instead of resuming and
+/// ignoring the shutdown request until the next row arrives.
+void installServeSignalHandlers() {
+  struct sigaction sa {};
+  sa.sa_handler = handleShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+/// Writes `port` to `path` with an explicit flush check. A readiness
+/// script polls this file; if it can never materialise the process must
+/// exit non-zero instead of serving a port nobody can discover.
+bool writePortFile(const std::string& path, std::uint16_t port) {
+  std::ofstream os(path);
+  os << port << '\n';
+  os.flush();
+  if (!os) {
+    obs::error("serve.port_file_failed", {{"path", path}});
+    return false;
+  }
+  return true;
+}
+
+/// The legacy single-stream mode (`--stdio`): rows from --eval/stdin,
+/// estimates on stdout — byte-identical to `psmgen predict` (asserted by
+/// test and the CI smoke job) while the HTTP thread answers scrapes.
+int runServeStdio(const Args& args, const serialize::PsmModel& model,
+                  const runtime::QualityMonitorConfig& qconfig,
+                  obs::HttpServer& server) {
   std::vector<double> ref;
   if (!args.ref.empty()) {
     ref = trace::loadPowerTrace(args.ref).samples();
@@ -612,44 +707,15 @@ int runServe(const Args& args) {
   }
 
   runtime::OnlinePredictor predictor(model);
-  runtime::QualityMonitorConfig qconfig;
-  qconfig.window_rows = args.window;
-  qconfig.min_rows = std::min(qconfig.min_rows, args.window);
-  qconfig.wsp_drifted_percent = args.drift_wsp;
-  qconfig.wsp_degraded_percent = args.drift_wsp / 2.0;
-  qconfig.residual_drifted_z = args.drift_z;
-  qconfig.residual_degraded_z = args.drift_z / 2.0;
   runtime::QualityMonitor monitor(predictor, model.psm, qconfig);
-
-  obs::HttpServer server;
-  const std::string model_label = args.psm;
-  server.handle("/metrics", [model_label](const std::string&) {
-    obs::PrometheusOptions options;
-    options.const_labels = {{"model", model_label}};
-    return obs::HttpServer::Response{
-        200, "text/plain; version=0.0.4; charset=utf-8",
-        obs::renderPrometheus(obs::metrics(), options)};
-  });
-  server.handle("/healthz", [](const std::string&) {
-    return obs::HttpServer::Response{200, "text/plain; charset=utf-8",
-                                     "ok\n"};
-  });
   server.handle("/readyz", [&monitor](const std::string&) {
     return runtime::readyzResponse(monitor);
   });
-  const std::string buildinfo = buildInfoJson(args.psm, model);
-  server.handle("/buildinfo", [buildinfo](const std::string&) {
-    return obs::HttpServer::Response{200, "application/json", buildinfo};
-  });
   if (!server.listen(static_cast<std::uint16_t>(args.port))) return 1;
   server.start();
-  if (!args.port_file.empty()) {
-    std::ofstream os(args.port_file);
-    os << server.port() << '\n';
-    if (!os) {
-      obs::error("serve.port_file_failed", {{"path", args.port_file}});
-      return 1;
-    }
+  if (!args.port_file.empty() &&
+      !writePortFile(args.port_file, server.port())) {
+    return 1;
   }
 
   // Feed thread (this one): rows in, estimates out — the same stdout
@@ -657,7 +723,7 @@ int runServe(const Args& args) {
   std::printf("instant,power_w\n");
   std::vector<common::BitVector> row;
   std::size_t t = 0;
-  while (reader->next(row)) {
+  while (!g_shutdown.load(std::memory_order_relaxed) && reader->next(row)) {
     const double estimate = t < ref.size()
                                 ? monitor.predictRow(row, ref[t])
                                 : monitor.predictRow(row);
@@ -675,13 +741,125 @@ int runServe(const Args& args) {
              {"rows_per_second", stats.rowsPerSecond()},
              {"quality_status", runtime::driftStatusName(monitor.status())},
              {"port", server.port()}});
-  if (args.linger_ms > 0) {
+  // A shutdown signal skips the linger: the operator asked us to leave.
+  if (args.linger_ms > 0 && !g_shutdown.load(std::memory_order_relaxed)) {
     std::fflush(stdout);
     obs::info("serve.linger", {{"ms", args.linger_ms}});
-    std::this_thread::sleep_for(std::chrono::milliseconds(args.linger_ms));
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(args.linger_ms);
+    while (!g_shutdown.load(std::memory_order_relaxed) &&
+           std::chrono::steady_clock::now() < until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
   }
   server.stop();
   return 0;
+}
+
+/// The default mode: a multi-client TCP prediction server speaking the
+/// psmgen.serve.v1 framed protocol, one OnlinePredictor per session over
+/// the shared model. Runs until SIGINT/SIGTERM, then drains gracefully.
+int runServeTcp(const Args& args, const serialize::PsmModel& model,
+                const runtime::QualityMonitorConfig& qconfig,
+                obs::HttpServer& server) {
+  serve::ServerConfig config;
+  config.port = static_cast<std::uint16_t>(args.serve_port);
+  config.max_sessions = args.max_sessions;
+  config.rows_per_second = args.rate;
+  config.idle_timeout_ms = static_cast<int>(args.idle_timeout_ms);
+  config.model_id = args.psm;
+  config.quality = qconfig;
+  serve::PredictionServer prediction(model, config);
+
+  // /readyz flips to 503 as soon as the drain starts so a load balancer
+  // stops routing to an instance that refuses new sessions.
+  server.handle("/readyz", [&prediction](const std::string&) {
+    if (prediction.draining()) {
+      return obs::HttpServer::Response{503, "text/plain; charset=utf-8",
+                                       "draining\n"};
+    }
+    return obs::HttpServer::Response{200, "text/plain; charset=utf-8",
+                                     "ok\n"};
+  });
+  if (!server.listen(static_cast<std::uint16_t>(args.port))) return 1;
+  server.start();
+  if (!prediction.listen()) return 1;
+  prediction.start();
+  if (!args.port_file.empty() &&
+      !writePortFile(args.port_file, server.port())) {
+    return 1;
+  }
+  if (!args.serve_port_file.empty() &&
+      !writePortFile(args.serve_port_file, prediction.port())) {
+    return 1;
+  }
+  obs::info("serve.listening",
+            {{"serve_port", prediction.port()},
+             {"http_port", server.port()},
+             {"max_sessions", args.max_sessions},
+             {"rows_per_second", args.rate},
+             {"idle_timeout_ms", args.idle_timeout_ms}});
+
+  while (!g_shutdown.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  obs::info("serve.shutdown_signal", {{"draining", true}});
+  prediction.beginDrain();
+  prediction.stop();
+  obs::info("serve.summary",
+            {{"sessions_total", prediction.totalSessions()},
+             {"port", prediction.port()}});
+  server.stop();
+  return 0;
+}
+
+int runServe(const Args& args) {
+  installServeSignalHandlers();
+  const auto load0 = std::chrono::steady_clock::now();
+  const serialize::PsmModel model = serialize::loadPsmModel(args.psm);
+  const double cold_load_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - load0)
+          .count();
+  // /metrics is the point of serve: the registry runs enabled regardless
+  // of --metrics-out (results on stdout stay byte-identical either way).
+  obs::metrics().setEnabled(true);
+  obs::metrics().gauge("predict.cold_load_ms").set(cold_load_ms);
+  obs::info("serve.loaded_model",
+            {{"path", args.psm},
+             {"states", model.psm.stateCount()},
+             {"transitions", model.psm.transitionCount()},
+             {"propositions", model.domain.size()},
+             {"cold_load_ms", cold_load_ms}});
+
+  runtime::QualityMonitorConfig qconfig;
+  qconfig.window_rows = args.window;
+  qconfig.min_rows = std::min(qconfig.min_rows, args.window);
+  qconfig.wsp_drifted_percent = args.drift_wsp;
+  qconfig.wsp_degraded_percent = args.drift_wsp / 2.0;
+  qconfig.residual_drifted_z = args.drift_z;
+  qconfig.residual_degraded_z = args.drift_z / 2.0;
+
+  obs::HttpServer server;
+  const std::string model_label = args.psm;
+  server.handle("/metrics", [model_label](const std::string&) {
+    obs::PrometheusOptions options;
+    options.const_labels = {{"model", model_label}};
+    return obs::HttpServer::Response{
+        200, "text/plain; version=0.0.4; charset=utf-8",
+        obs::renderPrometheus(obs::metrics(), options)};
+  });
+  server.handle("/healthz", [](const std::string&) {
+    return obs::HttpServer::Response{200, "text/plain; charset=utf-8",
+                                     "ok\n"};
+  });
+  const std::string buildinfo = buildInfoJson(args.psm, model);
+  server.handle("/buildinfo", [buildinfo](const std::string&) {
+    return obs::HttpServer::Response{200, "application/json", buildinfo};
+  });
+
+  if (args.stdio) return runServeStdio(args, model, qconfig, server);
+  return runServeTcp(args, model, qconfig, server);
 }
 
 int runDemo(const std::string& name, unsigned threads) {

@@ -41,6 +41,16 @@ double parseDouble(const std::string& s, std::size_t line_no,
 }  // namespace
 
 const std::string& functionalTraceHeader() { return kFunctionalHeader; }
+
+std::string formatVariableDeclaration(const VariableSet& vars) {
+  std::vector<std::string> cols;
+  cols.reserve(vars.size());
+  for (const auto& v : vars.all()) {
+    cols.push_back(v.name + ":" + kindName(v.kind) + ":" +
+                   std::to_string(v.width));
+  }
+  return common::join(cols, ",");
+}
 const std::string& powerTraceHeader() { return kPowerHeader; }
 
 VariableSet parseVariableDeclaration(const std::string& line,
@@ -91,12 +101,7 @@ std::vector<common::BitVector> parseFunctionalRow(const std::string& line,
 
 void writeFunctionalTrace(std::ostream& os, const FunctionalTrace& trace) {
   os << kFunctionalHeader << "\n";
-  std::vector<std::string> cols;
-  for (const auto& v : trace.variables().all()) {
-    cols.push_back(v.name + ":" + kindName(v.kind) + ":" +
-                   std::to_string(v.width));
-  }
-  os << common::join(cols, ",") << "\n";
+  os << formatVariableDeclaration(trace.variables()) << "\n";
   for (std::size_t t = 0; t < trace.length(); ++t) {
     std::vector<std::string> cells;
     for (const auto& value : trace.step(t)) cells.push_back(value.toHex());

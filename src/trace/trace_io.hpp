@@ -37,6 +37,11 @@ const std::string& powerTraceHeader();
 VariableSet parseVariableDeclaration(const std::string& line,
                                      std::size_t line_no);
 
+/// Renders the "name:kind:width,..." declaration for `vars` — the exact
+/// inverse of parseVariableDeclaration. Shared by the CSV writer and the
+/// serving protocol's Hello negotiation, so both agree on one spelling.
+std::string formatVariableDeclaration(const VariableSet& vars);
+
 /// Parses one data row ("<hex>,<hex>,...") against `vars`. Throws
 /// std::runtime_error naming `line_no` on arity mismatch or a cell that
 /// is not valid hex for its variable's width.

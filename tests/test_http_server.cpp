@@ -195,8 +195,69 @@ TEST(HttpServer, StopRacingInFlightRequestsIsClean) {
 TEST(HttpServer, ReasonPhrases) {
   EXPECT_STREQ(obs::HttpServer::reasonPhrase(200), "OK");
   EXPECT_STREQ(obs::HttpServer::reasonPhrase(404), "Not Found");
+  EXPECT_STREQ(obs::HttpServer::reasonPhrase(408), "Request Timeout");
+  EXPECT_STREQ(obs::HttpServer::reasonPhrase(431),
+               "Request Header Fields Too Large");
   EXPECT_STREQ(obs::HttpServer::reasonPhrase(503), "Service Unavailable");
   EXPECT_STREQ(obs::HttpServer::reasonPhrase(599), "Unknown");
+}
+
+TEST(HttpServer, SlowClientGets408AndServerSurvives) {
+  obs::HttpServer server;
+  server.handle("/healthz",
+                [](const std::string&) -> obs::HttpServer::Response {
+                  return {200, "text/plain; charset=utf-8", "ok\n"};
+                });
+  server.setRequestDeadlineMs(200);
+  ASSERT_TRUE(server.listen(0));
+  server.start();
+
+  // A slowloris: open the connection, send a partial request head, then
+  // never finish it. The wall-clock deadline must cut us off with a 408
+  // instead of wedging the single-threaded accept loop.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char partial[] = "GET /hea";
+  ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, 0), 0);
+  std::string response;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(statusOf(response), 408) << response;
+
+  // The loop is free again: a well-behaved request is served normally.
+  EXPECT_EQ(statusOf(get(server.port(), "/healthz")), 200);
+  server.stop();
+}
+
+TEST(HttpServer, OversizedRequestHeadGets431AndServerSurvives) {
+  obs::HttpServer server;
+  server.handle("/healthz",
+                [](const std::string&) -> obs::HttpServer::Response {
+                  return {200, "text/plain; charset=utf-8", "ok\n"};
+                });
+  ASSERT_TRUE(server.listen(0));
+  server.start();
+
+  // 9 KiB of header with no terminator blows the 8 KiB cap (and still
+  // fits in the loopback socket buffers, so the send never sees EPIPE).
+  std::string huge = "GET /healthz HTTP/1.1\r\nX-Junk: ";
+  huge.append(9 * 1024, 'A');
+  const std::string response = rawRequest(server.port(), huge);
+  EXPECT_EQ(statusOf(response), 431) << response.substr(0, 64);
+
+  EXPECT_EQ(statusOf(get(server.port(), "/healthz")), 200);
+  server.stop();
 }
 
 }  // namespace

@@ -1,0 +1,282 @@
+// End-to-end tests for the concurrent prediction service (serve/):
+// a real PredictionServer on loopback serving a trained RAM model, the
+// blocking Client speaking psmgen.serve.v1 against it. Covers estimate
+// identity with the bare OnlinePredictor, concurrent sessions, the
+// session cap (Busy), idle timeout, garbage input, graceful drain, and
+// the per-session rate limiter's no-loss guarantee.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "ip/ip_factory.hpp"
+#include "power/gate_estimator.hpp"
+#include "runtime/online_predictor.hpp"
+#include "serialize/psm_artifact.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "trace/trace_io.hpp"
+
+namespace psmgen {
+namespace {
+
+using common::BitVector;
+
+/// One RAM characterization for the whole suite: the serialized model a
+/// server would load, the evaluation rows a client would stream, and the
+/// bare-predictor estimates every session must reproduce exactly.
+struct ServedRam {
+  serialize::PsmModel model;
+  std::vector<std::vector<BitVector>> rows;
+  std::vector<double> expected;
+};
+
+ServedRam buildServedRam() {
+  core::CharacterizationFlow flow;
+  auto device = ip::makeDevice(ip::IpKind::Ram);
+  power::GateLevelEstimator est(*device, ip::powerConfig(ip::IpKind::Ram));
+  for (const auto& spec : ip::shortTSPlan(ip::IpKind::Ram)) {
+    auto tb =
+        ip::makeTestbench(ip::IpKind::Ram, ip::TestsetMode::Short, spec.seed);
+    auto pair = est.run(*tb, 2500);
+    flow.addTrainingTrace(std::move(pair.functional), std::move(pair.power));
+  }
+  flow.build();
+  std::ostringstream os(std::ios::binary);
+  serialize::writePsmModel(os, flow.psm(), flow.domain());
+  std::istringstream is(os.str(), std::ios::binary);
+  serialize::PsmModel model = serialize::readPsmModel(is);
+
+  auto tb = ip::makeTestbench(ip::IpKind::Ram, ip::TestsetMode::Long, 0xBEEF);
+  const trace::FunctionalTrace eval = est.run(*tb, 3000).functional;
+  std::vector<std::vector<BitVector>> rows;
+  rows.reserve(eval.length());
+  for (std::size_t i = 0; i < eval.length(); ++i) {
+    rows.push_back(eval.step(i));
+  }
+  runtime::OnlinePredictor predictor(model);
+  std::vector<double> expected = predictor.predictTrace(eval);
+  return {std::move(model), std::move(rows), std::move(expected)};
+}
+
+ServedRam& servedRam() {
+  static ServedRam ram = buildServedRam();
+  return ram;
+}
+
+serve::ServerConfig testConfig() {
+  serve::ServerConfig config;
+  config.port = 0;  // ephemeral
+  config.model_id = "ram";
+  return config;
+}
+
+/// Streams every eval row through `client` in `batch`-row frames and
+/// returns the concatenated estimates.
+std::vector<double> streamAll(serve::Client& client,
+                              const ServedRam& ram,
+                              std::size_t batch = 256) {
+  std::vector<double> got;
+  got.reserve(ram.rows.size());
+  for (std::size_t off = 0; off < ram.rows.size(); off += batch) {
+    const std::size_t n = std::min(batch, ram.rows.size() - off);
+    const std::vector<std::vector<BitVector>> chunk(
+        ram.rows.begin() + static_cast<std::ptrdiff_t>(off),
+        ram.rows.begin() + static_cast<std::ptrdiff_t>(off + n));
+    for (const serve::EstRow& est : client.predict(chunk)) {
+      got.push_back(est.estimate);
+    }
+  }
+  return got;
+}
+
+TEST(ServeServer, EstimatesAreIdenticalToBarePredictor) {
+  ServedRam& ram = servedRam();
+  serve::PredictionServer server(ram.model, testConfig());
+  ASSERT_TRUE(server.listen());
+  server.start();
+
+  serve::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  const serve::HelloReply reply = client.hello("ram");
+  EXPECT_EQ(reply.model_id, "ram");
+  EXPECT_EQ(reply.variables,
+            trace::formatVariableDeclaration(ram.model.domain.variables()));
+  EXPECT_EQ(reply.states,
+            static_cast<std::uint32_t>(ram.model.psm.stateCount()));
+
+  EXPECT_EQ(streamAll(client, ram), ram.expected);
+  const serve::FinSummary summary = client.finish();
+  EXPECT_EQ(summary.rows, ram.rows.size());
+  server.stop();
+  EXPECT_EQ(server.totalSessions(), 1u);
+}
+
+TEST(ServeServer, HelloWithMatchingVariablesIsAccepted) {
+  ServedRam& ram = servedRam();
+  serve::PredictionServer server(ram.model, testConfig());
+  ASSERT_TRUE(server.listen());
+  server.start();
+
+  serve::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  const std::string vars =
+      trace::formatVariableDeclaration(ram.model.domain.variables());
+  EXPECT_NO_THROW(client.hello("ram", vars));
+  client.finish();
+}
+
+TEST(ServeServer, ConcurrentSessionsEachGetExactEstimates) {
+  ServedRam& ram = servedRam();
+  serve::PredictionServer server(ram.model, testConfig());
+  ASSERT_TRUE(server.listen());
+  server.start();
+
+  constexpr int kClients = 8;
+  std::atomic<int> exact{0};
+  std::atomic<std::uint64_t> rows_acked{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      serve::Client client;
+      if (!client.connect(server.port())) return;
+      client.hello("ram");
+      // Stagger batch sizes so the sessions interleave differently.
+      const std::vector<double> got =
+          streamAll(client, ram, 64 + static_cast<std::size_t>(i) * 32);
+      const serve::FinSummary summary = client.finish();
+      rows_acked.fetch_add(summary.rows);
+      if (got == ram.expected) exact.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(exact.load(), kClients);
+  EXPECT_EQ(rows_acked.load(), kClients * ram.rows.size());
+  server.stop();
+  EXPECT_EQ(server.totalSessions(), kClients);
+}
+
+TEST(ServeServer, SessionCapRejectsWithBusy) {
+  ServedRam& ram = servedRam();
+  serve::ServerConfig config = testConfig();
+  config.max_sessions = 1;
+  serve::PredictionServer server(ram.model, config);
+  ASSERT_TRUE(server.listen());
+  server.start();
+
+  serve::Client first;
+  ASSERT_TRUE(first.connect(server.port()));
+  first.hello("ram");  // session thread is live once this returns
+
+  serve::Client second;
+  ASSERT_TRUE(second.connect(server.port()));
+  try {
+    second.hello("ram");
+    FAIL() << "expected RemoteError{Busy}";
+  } catch (const serve::RemoteError& e) {
+    EXPECT_EQ(e.code(), serve::ErrorCode::Busy);
+  }
+  first.finish();
+}
+
+TEST(ServeServer, IdleClientIsTimedOutWithAnErrorFrame) {
+  ServedRam& ram = servedRam();
+  serve::ServerConfig config = testConfig();
+  config.idle_timeout_ms = 200;
+  serve::PredictionServer server(ram.model, config);
+  ASSERT_TRUE(server.listen());
+  server.start();
+
+  serve::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  client.hello("ram");
+  // Send nothing; the server must evict us, not wait forever.
+  const serve::Frame frame = client.readFrame();
+  ASSERT_EQ(frame.type, serve::FrameType::Error);
+  EXPECT_EQ(serve::decodeError(frame.payload).code,
+            serve::ErrorCode::IdleTimeout);
+}
+
+TEST(ServeServer, GarbageBytesGetAnErrorFrameAndAClose) {
+  ServedRam& ram = servedRam();
+  serve::PredictionServer server(ram.model, testConfig());
+  ASSERT_TRUE(server.listen());
+  server.start();
+
+  serve::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  ASSERT_TRUE(client.sendRaw("\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF"));
+  const serve::Frame frame = client.readFrame();
+  ASSERT_EQ(frame.type, serve::FrameType::Error);
+  EXPECT_EQ(serve::decodeError(frame.payload).code,
+            serve::ErrorCode::Protocol);
+  // The server must survive the bad session and keep serving good ones.
+  serve::Client good;
+  ASSERT_TRUE(good.connect(server.port()));
+  EXPECT_NO_THROW(good.hello("ram"));
+  good.finish();
+}
+
+TEST(ServeServer, DrainAbortsLiveSessionsAndRefusesNewConnects) {
+  ServedRam& ram = servedRam();
+  serve::PredictionServer server(ram.model, testConfig());
+  ASSERT_TRUE(server.listen());
+  server.start();
+
+  serve::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  client.hello("ram");
+  client.predict({ram.rows[0]});  // in-flight work is answered pre-drain
+
+  server.beginDrain();
+  EXPECT_TRUE(server.draining());
+  const serve::Frame frame = client.readFrame();
+  ASSERT_EQ(frame.type, serve::FrameType::Error);
+  EXPECT_EQ(serve::decodeError(frame.payload).code,
+            serve::ErrorCode::Draining);
+  // The listener is gone: new connects are refused by the kernel.
+  serve::Client late;
+  EXPECT_FALSE(late.connect(server.port()));
+  server.stop();
+  EXPECT_EQ(server.activeSessions(), 0u);
+}
+
+TEST(ServeServer, RateLimitThrottlesWithoutLosingRows) {
+  ServedRam& ram = servedRam();
+  serve::ServerConfig config = testConfig();
+  // Burst equals one second of rows, so streaming ~1.5 bursts forces at
+  // least one stall while every row still comes back, in order.
+  config.rows_per_second = 2000.0;
+  serve::PredictionServer server(ram.model, config);
+  ASSERT_TRUE(server.listen());
+  server.start();
+
+  serve::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  client.hello("ram");
+  EXPECT_EQ(streamAll(client, ram, 500), ram.expected);
+  const serve::FinSummary summary = client.finish();
+  EXPECT_EQ(summary.rows, ram.rows.size());
+}
+
+TEST(ServeServer, StopIsIdempotentAndJoinsEverything) {
+  ServedRam& ram = servedRam();
+  serve::PredictionServer server(ram.model, testConfig());
+  ASSERT_TRUE(server.listen());
+  server.start();
+  serve::Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  client.hello("ram");
+  server.stop();
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.activeSessions(), 0u);
+}
+
+}  // namespace
+}  // namespace psmgen
