@@ -28,10 +28,16 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "bench_common.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/http_server.hpp"
 #include "runtime/online_predictor.hpp"
 #include "serialize/psm_artifact.hpp"
 #include "serve/client.hpp"
+#include "serve/debug_http.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -45,6 +51,25 @@ std::size_t sizeArg(int argc, char** argv, const char* flag,
     }
   }
   return fallback;
+}
+
+/// Like sizeArg but 0 is a meaningful value (--flight-events 0 disables).
+std::size_t sizeArgAllowZero(int argc, char** argv, const char* flag,
+                             std::size_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      const long v = std::atol(argv[i + 1]);
+      if (v >= 0) return static_cast<std::size_t>(v);
+    }
+  }
+  return fallback;
+}
+
+const char* stringArg(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
 }
 
 std::string indented(const std::string& json, const std::string& pad) {
@@ -75,7 +100,18 @@ int main(int argc, char** argv) {
   const std::size_t sessions = sizeArg(argc, argv, "--sessions", 64);
   const std::size_t cycles = bench::cyclesArg(argc, argv, 3000);
   const std::size_t batch = sizeArg(argc, argv, "--batch", 256);
+  // --flight-events 0 measures the recorder-off baseline for the
+  // overhead check in scripts/load_gate.py; the default matches serve's.
+  const std::size_t flight_events =
+      sizeArgAllowZero(argc, argv, "--flight-events", 1024);
+  // Per-session row rate cap; 0 = unthrottled. CI's mid-load scrape run
+  // uses this to stretch the load into a window wide enough to observe.
+  const std::size_t rate = sizeArgAllowZero(argc, argv, "--rate", 0);
+  const char* flight_dump_dir = stringArg(argc, argv, "--flight-dump-dir");
+  const char* http_port_file = stringArg(argc, argv, "--http-port-file");
   bench::obsArgs(argc, argv, /*force_metrics=*/true);
+  obs::flightRecorder().configure(flight_events);
+  obs::flightRecorder().setEnabled(flight_events > 0);
 
   // Train once, then round-trip through the artifact format — sessions
   // must serve exactly what `psmgen serve` would serve from disk.
@@ -100,9 +136,28 @@ int main(int argc, char** argv) {
   config.port = 0;
   config.max_sessions = sessions + 8;
   config.model_id = model_path;
+  config.rows_per_second = static_cast<double>(rate);
   serve::PredictionServer server(model, config);
   if (!server.listen()) return 1;
   server.start();
+
+  // Optional live-introspection endpoint: CI scrapes /debug/sessions
+  // mid-load to check the table reflects the running sessions.
+  obs::HttpServer http;
+  if (http_port_file != nullptr) {
+    http.handle("/metrics", [](const obs::HttpServer::Request&) {
+      return obs::HttpServer::Response{
+          200, "text/plain; version=0.0.4; charset=utf-8",
+          obs::renderPrometheus(obs::metrics(), {})};
+    });
+    serve::registerDebugRoutes(http, &server,
+                               "{\"name\": \"table6_serving\"}\n");
+    if (!http.listen(0)) return 1;
+    http.start();
+    std::ofstream port_file(http_port_file);
+    port_file << http.port() << '\n';
+    if (!port_file) return 1;
+  }
 
   std::atomic<std::uint64_t> rows_done{0};
   std::atomic<std::uint64_t> corrupted_frames{0};
@@ -157,6 +212,14 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   server.stop();
+  http.stop();
+
+  // A full-recorder dump of the run, so a failed gate uploads the event
+  // history of the load that missed it.
+  if (flight_dump_dir != nullptr && flight_events > 0) {
+    obs::flightRecorder().dump(
+        std::string(flight_dump_dir) + "/psmgen-flight-bench.json", "bench");
+  }
 
   obs::Registry& reg = obs::metrics();
   reg.gauge("bench.serve.sessions").set(static_cast<double>(sessions));
@@ -171,6 +234,10 @@ int main(int argc, char** argv) {
   reg.gauge("bench.serve.corrupted_frames")
       .set(static_cast<double>(corrupted_frames.load()));
   reg.gauge("bench.serve.errors").set(static_cast<double>(errors.load()));
+  reg.gauge("bench.serve.flight_events_capacity")
+      .set(static_cast<double>(flight_events));
+  reg.gauge("bench.serve.flight_events_recorded")
+      .set(static_cast<double>(obs::flightRecorder().lastEventId()));
 
   std::ostringstream metrics_json;
   reg.writeJson(metrics_json);

@@ -24,13 +24,23 @@ The latency tolerance is deliberately generous: p99 on a shared CI
 runner is noisy, and the gate exists to catch a serialization point or
 an accidental O(sessions) scan, not 10% jitter.
 
+A fourth, optional check pins the flight recorder's cost: with
+``--overhead-off OFF.json`` (a run with ``--flight-events 0``), the best
+recorder-ON candidate throughput must stay within
+``--overhead-tolerance`` (default 5%) of the recorder-OFF run —
+always-on introspection that taxes serving more than that is a bug, not
+a feature. This comparison is same-machine same-moment, so the
+tolerance can be far tighter than the cross-machine baseline gate.
+
 Usage::
 
     scripts/load_gate.py --baseline BENCH_table6.json run1.json run2.json
     scripts/load_gate.py --baseline BENCH_table6.json --update run1.json
+    scripts/load_gate.py --baseline BENCH_table6.json \
+        --overhead-off off.json on1.json on2.json
 
-PSMGEN_LOAD_TOLERANCE (a fraction) overrides the default tolerance; the
-command-line flag wins.
+PSMGEN_LOAD_TOLERANCE / PSMGEN_FLIGHT_OVERHEAD_TOLERANCE (fractions)
+override the default tolerances; the command-line flags win.
 """
 
 import argparse
@@ -42,6 +52,7 @@ THROUGHPUT = "bench.serve.rows_per_second"
 P99 = "bench.serve.frame_p99_ms"
 ZERO_METRICS = ("bench.serve.corrupted_frames", "bench.serve.errors")
 DEFAULT_TOLERANCE = 0.40
+DEFAULT_OVERHEAD_TOLERANCE = 0.05
 
 
 def load_gauges(path):
@@ -69,6 +80,14 @@ def main():
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the best candidate "
                              "run instead of gating")
+    parser.add_argument("--overhead-off", default=None,
+                        help="recorder-off run (--flight-events 0); the best "
+                             "candidate must stay within --overhead-tolerance "
+                             "of its throughput")
+    parser.add_argument("--overhead-tolerance", type=float, default=None,
+                        help="allowed flight-recorder throughput cost "
+                             f"(default {DEFAULT_OVERHEAD_TOLERANCE}, or "
+                             "PSMGEN_FLIGHT_OVERHEAD_TOLERANCE)")
     args = parser.parse_args()
 
     tolerance = args.tolerance
@@ -123,6 +142,28 @@ def main():
     failed = failed or not p99_ok
     print(f"{P99:<32} {base_p99:>14.2f} {best_p99:>14.2f} "
           f"{p99_ratio:>8.2f}  {'ok' if p99_ok else 'REGRESSION'}")
+
+    if args.overhead_off is not None:
+        overhead_tolerance = args.overhead_tolerance
+        if overhead_tolerance is None:
+            overhead_tolerance = float(os.environ.get(
+                "PSMGEN_FLIGHT_OVERHEAD_TOLERANCE",
+                DEFAULT_OVERHEAD_TOLERANCE))
+        if not 0.0 < overhead_tolerance < 1.0:
+            parser.error("overhead tolerance must be in (0, 1), got "
+                         f"{overhead_tolerance}")
+        off_rps = float(load_gauges(args.overhead_off)[THROUGHPUT])
+        on_ratio = best_rps / off_rps if off_rps > 0.0 else 1.0
+        on_ok = on_ratio >= 1.0 - overhead_tolerance
+        failed = failed or not on_ok
+        print(f"{'flight recorder overhead':<32} {off_rps:>14.0f} "
+              f"{best_rps:>14.0f} {on_ratio:>8.2f}  "
+              f"{'ok' if on_ok else 'REGRESSION'}")
+        if not on_ok:
+            print(f"FAIL: flight recorder costs more than "
+                  f"{overhead_tolerance:.0%} of serving throughput "
+                  f"(recorder-off {off_rps:.0f} rows/s, best recorder-on "
+                  f"{best_rps:.0f} rows/s)")
 
     if failed:
         print(f"FAIL: serving load degraded beyond {tolerance:.0%} of the "

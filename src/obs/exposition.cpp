@@ -1,6 +1,7 @@
 #include "obs/exposition.hpp"
 
 #include <cinttypes>
+#include <limits>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
@@ -68,6 +69,27 @@ std::string renderBucketLabels(
   }
   out += "le=\"" + le + "\"}";
   return out;
+}
+
+/// The most recent exemplar with value in (`lower`, `upper`]; nullptr
+/// when none lands in that bucket. `exemplars` is oldest-first.
+const Exemplar* newestExemplarIn(const std::vector<Exemplar>& exemplars,
+                                 double lower, double upper) {
+  const Exemplar* found = nullptr;
+  for (const Exemplar& e : exemplars) {
+    if (e.value > lower && e.value <= upper) found = &e;
+  }
+  return found;
+}
+
+/// OpenMetrics exemplar suffix: ` # {event_id="N"} value ts_seconds`.
+void appendExemplar(std::string& out, const Exemplar& exemplar) {
+  out += " # {event_id=\"";
+  appendCount(out, exemplar.event_id);
+  out += "\"} ";
+  appendNumber(out, exemplar.value);
+  out += ' ';
+  appendNumber(out, static_cast<double>(exemplar.ts_us) / 1e6);
 }
 
 void appendFamilyHeader(std::string& out, const std::string& name,
@@ -147,17 +169,28 @@ void writePrometheus(std::ostream& os, const Registry& registry,
   for (const auto& h : snap.histograms) {
     const std::string name = options.prefix + sanitizeMetricName(h.name);
     appendFamilyHeader(out, name, h.name, "histogram");
+    double lower = -std::numeric_limits<double>::infinity();
     for (std::size_t b = 0; b < bounds.size(); ++b) {
       std::string le;
       appendNumber(le, bounds[b]);
       out += name + "_bucket" + renderBucketLabels(options.const_labels, le) +
              ' ';
       appendCount(out, h.cumulative[b]);
+      if (options.exemplars) {
+        const Exemplar* e = newestExemplarIn(h.exemplars, lower, bounds[b]);
+        if (e != nullptr) appendExemplar(out, *e);
+      }
       out += '\n';
+      lower = bounds[b];
     }
     out += name + "_bucket" + renderBucketLabels(options.const_labels, "+Inf") +
            ' ';
     appendCount(out, h.stats.count);
+    if (options.exemplars) {
+      const Exemplar* e = newestExemplarIn(
+          h.exemplars, lower, std::numeric_limits<double>::infinity());
+      if (e != nullptr) appendExemplar(out, *e);
+    }
     out += '\n';
     out += name + "_sum" + labels + ' ';
     appendNumber(out, h.stats.sum);

@@ -39,6 +39,12 @@ struct PrometheusOptions {
   /// Histogram bucket upper bounds (sorted ascending; +Inf is implicit).
   /// Empty selects defaultBuckets().
   std::vector<double> buckets;
+  /// Appends OpenMetrics exemplars (` # {event_id="N"} value ts`) to
+  /// histogram bucket lines when the histogram recorded any: each bucket
+  /// carries the most recent exemplar falling inside it, linking a
+  /// latency bucket to its flight-recorder event window. Strict 0.0.4
+  /// parsers that reject exemplar syntax can turn this off.
+  bool exemplars = true;
 };
 
 /// The default histogram bucket bounds: a 1-2.5-5 decade ladder wide

@@ -1,0 +1,292 @@
+#include "obs/flight_recorder.hpp"
+
+#include <csignal>
+#include <algorithm>
+#include <ostream>
+
+#include "obs/obs.hpp"
+
+namespace psmgen::obs {
+
+namespace {
+
+/// Thread binding for session ids: FlightRecorder::setThreadSession.
+thread_local std::uint64_t t_session = 0;
+
+/// Per-thread cached ring pointer. Rings are owned by the recorder and
+/// never destroyed before process exit (the global recorder leaks by
+/// design, like the logger), so the cache cannot dangle. A configure()
+/// bump invalidates caches via the generation counter.
+thread_local void* t_ring = nullptr;
+thread_local std::uint64_t t_ring_generation = 0;
+std::atomic<std::uint64_t> g_generation{1};
+
+}  // namespace
+
+const char* flightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::SessionOpen: return "session_open";
+    case FlightEventKind::Hello: return "hello";
+    case FlightEventKind::Rows: return "rows";
+    case FlightEventKind::Fin: return "fin";
+    case FlightEventKind::SessionClose: return "session_close";
+    case FlightEventKind::ProtocolError: return "protocol_error";
+    case FlightEventKind::Drift: return "drift";
+    case FlightEventKind::Mark: return "mark";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+void FlightRecorder::configure(std::size_t per_thread_capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = per_thread_capacity;
+  // Existing rings are resized in place (clearing their history) and all
+  // thread-local caches invalidated so threads re-resolve their ring.
+  for (auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    ring->slots.assign(capacity_, FlightEvent{});
+    ring->total = 0;
+  }
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  if (capacity_ == 0) enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::size_t FlightRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void FlightRecorder::setDumpDir(std::string dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dump_dir_ = std::move(dir);
+}
+
+std::string FlightRecorder::dumpDir() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dump_dir_;
+}
+
+void FlightRecorder::setThreadSession(std::uint64_t session) {
+  t_session = session;
+}
+
+std::uint64_t FlightRecorder::threadSession() { return t_session; }
+
+std::uint64_t FlightRecorder::nowUs() const {
+  // clock_ is a plain function pointer set only from tests before
+  // recording starts; reading it unlocked here is benign in practice but
+  // we take the lock to stay TSan-clean.
+  std::uint64_t (*clock)() = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    clock = clock_;
+  }
+  if (clock != nullptr) return clock();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+FlightRecorder::Ring& FlightRecorder::threadRing() {
+  const std::uint64_t generation = g_generation.load(std::memory_order_relaxed);
+  if (t_ring != nullptr && t_ring_generation == generation) {
+    return *static_cast<Ring*>(t_ring);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto ring = std::make_unique<Ring>();
+  ring->slots.assign(capacity_, FlightEvent{});
+  Ring* raw = ring.get();
+  rings_.push_back(std::move(ring));
+  t_ring = raw;
+  t_ring_generation = generation;
+  return *raw;
+}
+
+std::uint64_t FlightRecorder::record(FlightEvent& event) {
+  if (!enabled()) return 0;
+  event.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  event.ts_us = nowUs();
+  if (event.session == 0) event.session = t_session;
+
+  Ring& ring = threadRing();
+  {
+    std::lock_guard<std::mutex> lock(ring.mutex);
+    if (ring.slots.empty()) return 0;  // configured to capacity 0 meanwhile
+    FlightEvent& slot = ring.slots[ring.total % ring.slots.size()];
+    if (ring.total >= ring.slots.size() && slot.id != 0) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      metrics().counter("obs.flight.dropped").add();
+    }
+    slot = event;
+    ++ring.total;
+  }
+  last_id_.store(event.id, std::memory_order_relaxed);
+  metrics().counter("obs.flight.events").add();
+  return event.id;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot(std::uint64_t session,
+                                                  std::size_t max_events) const {
+  std::vector<FlightEvent> merged;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      const std::size_t live =
+          std::min<std::uint64_t>(ring->total, ring->slots.size());
+      const std::size_t size = ring->slots.size();
+      for (std::size_t i = 0; i < live; ++i) {
+        const FlightEvent& e = ring->slots[(ring->total - live + i) % size];
+        if (e.id == 0) continue;
+        if (session != 0 && e.session != session) continue;
+        merged.push_back(e);
+      }
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.id < b.id;
+            });
+  if (max_events != 0 && merged.size() > max_events) {
+    merged.erase(merged.begin(),
+                 merged.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+  return merged;
+}
+
+bool FlightRecorder::hasSession(std::uint64_t session) const {
+  if (session == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    const std::size_t live =
+        std::min<std::uint64_t>(ring->total, ring->slots.size());
+    const std::size_t size = ring->slots.size();
+    for (std::size_t i = 0; i < live; ++i) {
+      const FlightEvent& e = ring->slots[(ring->total - live + i) % size];
+      if (e.id != 0 && e.session == session) return true;
+    }
+  }
+  return false;
+}
+
+void FlightRecorder::writeJson(std::ostream& os, std::string_view reason,
+                               std::uint64_t session,
+                               std::size_t max_events) const {
+  const std::vector<FlightEvent> events = snapshot(session, max_events);
+  os << "{\n  \"schema\": \"psmgen.events.v1\",\n  \"reason\": \"" << reason
+     << "\",\n  \"last_event_id\": " << lastEventId()
+     << ",\n  \"dropped\": " << droppedEvents() << ",\n  \"events\": [";
+  bool first = true;
+  for (const FlightEvent& e : events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"id\": " << e.id << ", \"ts_us\": " << e.ts_us
+       << ", \"session\": " << e.session << ", \"row\": " << e.row
+       << ", \"kind\": \""
+       << flightEventKindName(static_cast<FlightEventKind>(e.kind))
+       << "\", \"detail\": " << e.detail << ", \"state\": ";
+    if (e.state == kFlightNoState) {
+      os << "null";
+    } else {
+      os << e.state;
+    }
+    os << ", \"flags\": " << e.flags << ", \"latency_ms\": " << e.latency_ms
+       << "}";
+  }
+  os << (first ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+bool FlightRecorder::dump(const std::string& path, std::string_view reason,
+                          std::uint64_t session) const {
+  const bool ok = writeFileAtomic(
+      path,
+      [&](std::ostream& os) { writeJson(os, reason, session); },
+      "flight");
+  if (ok) {
+    metrics().counter("obs.flight.dumps").add();
+    info("obs.flight_dump_written",
+         {{"path", path}, {"reason", std::string(reason)}});
+  }
+  return ok;
+}
+
+std::string FlightRecorder::triggerDump(std::string_view reason,
+                                        std::uint64_t session) {
+  if (!enabled()) return "";
+  const std::string dir = dumpDir();
+  if (dir.empty()) return "";
+  // One dump per second: an error storm must not turn into a disk storm.
+  const std::int64_t now_ms = static_cast<std::int64_t>(nowUs() / 1000);
+  std::int64_t last = last_trigger_ms_.load(std::memory_order_relaxed);
+  if (now_ms - last < 1000) return "";
+  if (!last_trigger_ms_.compare_exchange_strong(last, now_ms,
+                                                std::memory_order_relaxed)) {
+    return "";  // another thread won the race; its dump covers us
+  }
+  const std::uint64_t seq = dump_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::string path = dir + "/psmgen-flight-" + std::string(reason) + "-" +
+                     std::to_string(seq) + ".json";
+  if (!dump(path, reason, session)) return "";
+  return path;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    std::fill(ring->slots.begin(), ring->slots.end(), FlightEvent{});
+    ring->total = 0;
+  }
+  last_id_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  next_id_.store(1, std::memory_order_relaxed);
+  last_trigger_ms_.store(-1000000, std::memory_order_relaxed);
+}
+
+void FlightRecorder::setClockForTest(std::uint64_t (*now_us)()) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = now_us;
+}
+
+FlightRecorder& flightRecorder() {
+  // Leaked on purpose (like logger()/metrics()): rings must outlive any
+  // thread that might record during static destruction.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+namespace {
+
+std::atomic<bool> g_signal_handlers_installed{false};
+std::atomic<bool> g_in_fatal_dump{false};
+
+void fatalSignalHandler(int signo) {
+  // Best effort, explicitly not async-signal-safe (see header). The
+  // recursion guard keeps a crash inside the dump from looping.
+  if (!g_in_fatal_dump.exchange(true)) {
+    flightRecorder().triggerDump("fatal_signal");
+  }
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+}  // namespace
+
+bool installFatalSignalDump() {
+  if (g_signal_handlers_installed.exchange(true)) return true;
+  bool ok = true;
+  for (int signo : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT}) {
+    struct sigaction action {};
+    action.sa_handler = &fatalSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    if (sigaction(signo, &action, nullptr) != 0) ok = false;
+  }
+  return ok;
+}
+
+}  // namespace psmgen::obs

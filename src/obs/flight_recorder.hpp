@@ -1,0 +1,206 @@
+#pragma once
+// Flight recorder: always-on, low-overhead retention of the *recent*
+// execution history, dumped on demand or on failure.
+//
+// The serving counters answer "how often"; the flight recorder answers
+// "what exactly led here". Each thread owns a fixed-size ring of compact
+// binary wide events (one 48-byte record per frame / resync / drift /
+// error — never per row), so steady-state recording is one uncontended
+// mutex hop plus a slot write, old history falls off the back for free,
+// and memory is bounded at `capacity * threads * sizeof(FlightEvent)`
+// however long the process serves. This is the concise-recent-window
+// shape from "Learning Concise Models from Long Execution Traces"
+// (PAPERS.md) applied to the server's own execution instead of the
+// device's.
+//
+// Dump triggers (all routed through the shared atomic tmp+rename helper
+// in obs.hpp, so a crash mid-dump never leaves a torn file):
+//   - on demand: the `/debug/events` route renders a snapshot, and
+//     dump() writes one to a path of the caller's choice;
+//   - automatic: triggerDump() fires on a session protocol error, on a
+//     QualityMonitor transition to Drifted, and from the fatal-signal
+//     handler installed by installFatalSignalDump() — each writes
+//     `<dump_dir>/psmgen-flight-<reason>-<seq>.json` when a dump
+//     directory is configured (and is a no-op otherwise);
+//
+// Dump schema "psmgen.events.v1": {"schema", "reason", "last_event_id",
+// "dropped", "events": [{id, ts_us, session, row, kind, detail, state,
+// flags, latency_ms}]} — events merged across threads, ascending id.
+//
+// Thread model: record() touches only the calling thread's ring (its
+// mutex is uncontended except while a snapshot walks the rings, so the
+// hot path is lock + 48-byte store + unlock); ids come from one relaxed
+// atomic so the merged order is global. Rings outlive their threads —
+// the history of a finished session stays dumpable. setThreadSession()
+// binds a session id to the calling thread so every layer below the
+// server (QualityMonitor, future hooks) stamps its events with the
+// session that caused them without plumbing the id through every call.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psmgen::obs {
+
+enum class FlightEventKind : std::uint16_t {
+  SessionOpen = 1,   ///< connection accepted; detail = 0
+  Hello = 2,         ///< session negotiated
+  Rows = 3,          ///< one Rows frame served; detail = rows in frame
+  Fin = 4,           ///< clean end of stream
+  SessionClose = 5,  ///< connection closed; detail = rows served
+  ProtocolError = 6, ///< session failed; detail = wire ErrorCode
+  Drift = 7,         ///< QualityMonitor status change; detail = new status
+  Mark = 8,          ///< free-form marker (tests, tooling)
+};
+
+const char* flightEventKindName(FlightEventKind kind);
+
+/// FlightEvent::flags bits.
+inline constexpr std::uint32_t kFlightLost = 0x1;
+inline constexpr std::uint32_t kFlightWrong = 0x2;
+inline constexpr std::uint32_t kFlightUnexpected = 0x4;
+inline constexpr std::uint32_t kFlightResync = 0x8;
+inline constexpr std::uint32_t kFlightRateStall = 0x10;
+inline constexpr std::uint32_t kFlightDegraded = 0x20;
+inline constexpr std::uint32_t kFlightDrifted = 0x40;
+
+/// FlightEvent::state value while desynchronized / not applicable.
+inline constexpr std::uint16_t kFlightNoState = 0xFFFF;
+
+/// One compact wide event. POD; 48 bytes.
+struct FlightEvent {
+  std::uint64_t id = 0;       ///< global order; assigned by record()
+  std::uint64_t ts_us = 0;    ///< recorder-epoch time; assigned by record()
+  std::uint64_t session = 0;  ///< 0 = none (thread binding fills it if set)
+  std::uint64_t row = 0;      ///< rows consumed by the session so far
+  std::uint32_t detail = 0;   ///< kind-specific (see FlightEventKind)
+  std::uint16_t kind = static_cast<std::uint16_t>(FlightEventKind::Mark);
+  std::uint16_t state = kFlightNoState;  ///< predicted PSM state
+  std::uint32_t flags = 0;
+  float latency_ms = 0.0f;
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Per-thread ring capacity in events. Existing rings are resized (and
+  /// cleared); call before enabling. Capacity 0 disables the recorder.
+  void configure(std::size_t per_thread_capacity);
+  std::size_t capacity() const;
+
+  void setEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  /// One relaxed load: the whole cost of a disabled call site.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Directory for automatic triggerDump() files; empty (the default)
+  /// turns automatic dumps into no-ops.
+  void setDumpDir(std::string dir);
+  std::string dumpDir() const;
+
+  /// Records one event into the calling thread's ring: fills `event`'s
+  /// id and ts_us in place (callers feed both into exemplars), and fills
+  /// session from the thread binding when the event carries none.
+  /// Returns the assigned id (0 while disabled).
+  std::uint64_t record(FlightEvent& event);
+
+  /// Id of the most recently recorded event; 0 before the first. Feeds
+  /// the exemplars attached to the latency histograms.
+  std::uint64_t lastEventId() const {
+    return last_id_.load(std::memory_order_relaxed);
+  }
+
+  /// Events overwritten before ever being snapshotted or dumped.
+  std::uint64_t droppedEvents() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Binds `session` as the calling thread's default session id (0
+  /// unbinds). Events recorded on this thread without an explicit
+  /// session inherit it.
+  static void setThreadSession(std::uint64_t session);
+  static std::uint64_t threadSession();
+
+  /// Merged copy of every ring, ascending id. `session` != 0 keeps only
+  /// that session's events; `max_events` != 0 keeps only the newest N.
+  std::vector<FlightEvent> snapshot(std::uint64_t session = 0,
+                                    std::size_t max_events = 0) const;
+
+  /// True when any ring holds an event of `session`.
+  bool hasSession(std::uint64_t session) const;
+
+  /// Renders a snapshot as "psmgen.events.v1" JSON.
+  void writeJson(std::ostream& os, std::string_view reason = "on_demand",
+                 std::uint64_t session = 0, std::size_t max_events = 0) const;
+
+  /// Dumps to `path` via the atomic tmp+rename helper. Returns false
+  /// after an error log on failure.
+  bool dump(const std::string& path, std::string_view reason,
+            std::uint64_t session = 0) const;
+
+  /// Automatic-trigger dump: writes
+  /// `<dump_dir>/psmgen-flight-<reason>-<seq>.json` (rate-limited to one
+  /// per second per recorder, so an error storm cannot fill the disk).
+  /// Returns the written path, or "" when disabled, rate-limited, no
+  /// dump dir is set, or the write failed.
+  std::string triggerDump(std::string_view reason, std::uint64_t session = 0);
+
+  /// Drops every recorded event, keeping rings and enablement (tests).
+  void clear();
+
+  /// Test hook: replaces the event clock (microseconds, monotone);
+  /// nullptr restores steady_clock. Makes golden dumps deterministic.
+  void setClockForTest(std::uint64_t (*now_us)());
+
+ private:
+  /// One thread's ring. `total` counts appends forever; the live slots
+  /// are the last min(total, capacity) of them.
+  struct Ring {
+    mutable std::mutex mutex;
+    std::vector<FlightEvent> slots;
+    std::uint64_t total = 0;
+  };
+
+  Ring& threadRing();
+  std::uint64_t nowUs() const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> last_id_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> dump_seq_{0};
+
+  mutable std::mutex mutex_;  ///< guards rings_, capacity_, dump_dir_, clock_
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::size_t capacity_ = 1024;
+  std::string dump_dir_;
+  std::uint64_t (*clock_)() = nullptr;
+  std::chrono::steady_clock::time_point epoch_;
+  /// Last triggerDump wall time, for the one-per-second limit.
+  std::atomic<std::int64_t> last_trigger_ms_{-1000000};
+};
+
+/// The process-global recorder.
+FlightRecorder& flightRecorder();
+
+/// Installs SIGSEGV/SIGBUS/SIGFPE/SIGABRT handlers that best-effort
+/// triggerDump("fatal_signal") before re-raising the default action, so
+/// a crashing server leaves its last events behind. The dump path is not
+/// async-signal-safe (it allocates); after a fatal signal that is an
+/// acceptable gamble — the alternative is losing the history for sure.
+/// Idempotent. Returns false when sigaction() fails.
+bool installFatalSignalDump();
+
+}  // namespace psmgen::obs

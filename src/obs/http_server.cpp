@@ -36,6 +36,21 @@ bool sendAll(int fd, const char* data, std::size_t size) {
 
 }  // namespace
 
+std::string HttpServer::Request::queryParam(const std::string& name) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, name) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
 const char* HttpServer::reasonPhrase(int status) {
   switch (status) {
     case 200: return "OK";
@@ -196,18 +211,23 @@ void HttpServer::serveConnection(int fd) {
     response = {400, "text/plain; charset=utf-8", "bad request\n"};
   } else {
     method = head.substr(0, sp1);
-    path = head.substr(sp1 + 1, sp2 - sp1 - 1);
-    const std::size_t query = path.find('?');
-    if (query != std::string::npos) path.resize(query);
+    Request request;
+    request.path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = request.path.find('?');
+    if (query != std::string::npos) {
+      request.query = request.path.substr(query + 1);
+      request.path.resize(query);
+    }
+    path = request.path;
     if (method != "GET" && method != "HEAD") {
       response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
     } else {
-      const auto it = routes_.find(path);
+      const auto it = routes_.find(request.path);
       if (it == routes_.end()) {
         response = {404, "text/plain; charset=utf-8", "not found\n"};
       } else {
         try {
-          response = it->second(path);
+          response = it->second(request);
         } catch (const std::exception& e) {
           error("http.handler_failed", {{"path", path}, {"what", e.what()}});
           response = {500, "text/plain; charset=utf-8",

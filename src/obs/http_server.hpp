@@ -35,8 +35,19 @@ class HttpServer {
     std::string content_type = "text/plain; charset=utf-8";
     std::string body;
   };
-  /// Receives the request path (query string already stripped).
-  using Handler = std::function<Response(const std::string& path)>;
+  /// A parsed request line. Routing matches `path` exactly; the raw
+  /// query string (text after '?', if any) rides along for handlers
+  /// that take parameters, like `/debug/events?session=N`.
+  struct Request {
+    std::string path;
+    std::string query;
+
+    /// Value of `name` in the query string ("" when absent). Supports
+    /// the `k=v&k2=v2` shape only — no percent-decoding, which none of
+    /// the debug routes need.
+    std::string queryParam(const std::string& name) const;
+  };
+  using Handler = std::function<Response(const Request& request)>;
 
   HttpServer() = default;
   ~HttpServer();

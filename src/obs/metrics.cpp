@@ -46,6 +46,34 @@ void Histogram::record(double v) {
   if (samples_.size() < kMaxSamples) samples_.push_back(v);
 }
 
+void Histogram::record(double v, std::uint64_t event_id, std::uint64_t ts_us) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  record(v);
+  if (event_id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (exemplars_.size() < kMaxExemplars) {
+    exemplars_.push_back({v, event_id, ts_us});
+    exemplar_next_ = exemplars_.size() % kMaxExemplars;
+  } else {
+    exemplars_[exemplar_next_] = {v, event_id, ts_us};
+    exemplar_next_ = (exemplar_next_ + 1) % kMaxExemplars;
+  }
+}
+
+std::vector<Exemplar> Histogram::exemplars() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Exemplar> out;
+  out.reserve(exemplars_.size());
+  if (exemplars_.size() < kMaxExemplars) {
+    out = exemplars_;
+  } else {
+    for (std::size_t i = 0; i < exemplars_.size(); ++i) {
+      out.push_back(exemplars_[(exemplar_next_ + i) % exemplars_.size()]);
+    }
+  }
+  return out;
+}
+
 double Histogram::quantileLocked(double q, std::vector<double>& scratch) const {
   if (samples_.empty()) return 0.0;
   scratch = samples_;
@@ -148,6 +176,8 @@ void Registry::reset() {
     h->min_ = 0.0;
     h->max_ = 0.0;
     h->samples_.clear();
+    h->exemplars_.clear();
+    h->exemplar_next_ = 0;
   }
 }
 
@@ -220,6 +250,7 @@ RegistrySnapshot Registry::snapshot(
     if (!histogram_bounds.empty()) {
       e.cumulative = h->cumulativeBuckets(histogram_bounds);
     }
+    e.exemplars = h->exemplars();
     s.histograms.push_back(std::move(e));
   }
   return s;

@@ -77,6 +77,17 @@ struct HistogramSnapshot {
   double p95 = 0.0;
 };
 
+/// One OpenMetrics exemplar: a recent sample annotated with the id of
+/// the flight-recorder event that produced it, so a latency bucket in a
+/// scrape links back to the exact `/debug/events` window around it.
+struct Exemplar {
+  double value = 0.0;
+  std::uint64_t event_id = 0;
+  /// Recorder timestamp (microseconds since recorder epoch) — rendered
+  /// as the exemplar's seconds field.
+  std::uint64_t ts_us = 0;
+};
+
 class Histogram {
  public:
   /// Sample-buffer cap: count/sum/min/max stay exact beyond it; the
@@ -84,7 +95,18 @@ class Histogram {
   /// (deterministic, no reservoir randomness).
   static constexpr std::size_t kMaxSamples = 65536;
 
+  /// Recent exemplars kept per histogram; newest wins when full.
+  static constexpr std::size_t kMaxExemplars = 64;
+
   void record(double v);
+
+  /// Records `v` and — when `event_id` is non-zero — attaches it as an
+  /// exemplar (value + event id + `ts_us`) so the Prometheus exposition
+  /// can link the sample's bucket to its flight-recorder window.
+  void record(double v, std::uint64_t event_id, std::uint64_t ts_us);
+
+  /// The buffered exemplar ring, oldest first.
+  std::vector<Exemplar> exemplars() const;
 
   /// Nearest-rank quantile over the buffered samples, q in [0, 1];
   /// 0 when no sample was recorded.
@@ -112,6 +134,10 @@ class Histogram {
   double min_ = 0.0;
   double max_ = 0.0;
   std::vector<double> samples_;
+  /// Exemplar ring: exemplars_[exemplar_next_ % kMaxExemplars] is the
+  /// oldest once full.
+  std::vector<Exemplar> exemplars_;
+  std::size_t exemplar_next_ = 0;
   const std::atomic<bool>* enabled_;
 };
 
@@ -125,6 +151,8 @@ struct RegistrySnapshot {
     /// Cumulative counts parallel to the bounds passed to snapshot();
     /// empty when no bounds were requested.
     std::vector<std::uint64_t> cumulative;
+    /// Recent exemplars, oldest first; empty when none were recorded.
+    std::vector<Exemplar> exemplars;
   };
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;

@@ -12,11 +12,8 @@ Options& storedOptions() {
   static Options options;
   return options;
 }
+}  // namespace
 
-/// Atomic file replacement: the content lands in `<path>.tmp` first and
-/// is renamed over `path` only once fully written, so a crash mid-dump or
-/// a concurrent reader (a scraper polling --metrics-out) never observes a
-/// torn JSON file — rename(2) is atomic on POSIX within a filesystem.
 bool writeFileAtomic(const std::string& path,
                      const std::function<void(std::ostream&)>& writer,
                      const char* what) {
@@ -43,7 +40,6 @@ bool writeFileAtomic(const std::string& path,
   }
   return true;
 }
-}  // namespace
 
 void configure(const Options& options) {
   Options applied = options;

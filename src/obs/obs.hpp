@@ -12,6 +12,8 @@
 // catalogue and the overhead policy.
 
 #include <chrono>
+#include <functional>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 
@@ -20,6 +22,16 @@
 #include "obs/trace_span.hpp"
 
 namespace psmgen::obs {
+
+/// Atomic file replacement shared by every observability dump
+/// (--metrics-out, --trace-out, flight-recorder dumps): the content lands
+/// in `<path>.tmp` first and is renamed over `path` only once fully
+/// written, so a crash mid-dump or a concurrent reader never observes a
+/// torn file — rename(2) is atomic on POSIX within a filesystem. `what`
+/// labels the error log on failure. Returns false after an error log.
+bool writeFileAtomic(const std::string& path,
+                     const std::function<void(std::ostream&)>& writer,
+                     const char* what);
 
 /// Configuration applied to the process-global logger/registry/tracer.
 struct Options {

@@ -67,7 +67,13 @@ void Tracer::writeJson(std::ostream& os) const {
     out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": ";
     out += std::to_string(lane);
     out += ", \"args\": {\"name\": \"";
-    out += lane == 0 ? "main" : "worker " + std::to_string(lane);
+    if (lane == 0) {
+      out += "main";
+    } else if (lane >= kServeLaneBase) {
+      out += "session " + std::to_string(lane - kServeLaneBase);
+    } else {
+      out += "worker " + std::to_string(lane);
+    }
     out += "\"}}";
     first = false;
   }
@@ -96,10 +102,17 @@ Tracer& tracer() {
   return instance;
 }
 
+namespace {
+thread_local int t_lane_override = 0;
+}  // namespace
+
 int currentLane() {
+  if (t_lane_override != 0) return t_lane_override;
   const int worker = common::ThreadPool::currentWorkerId();
   return worker < 0 ? 0 : worker;
 }
+
+void setThreadLane(int lane) { t_lane_override = lane; }
 
 Span::Span(std::string_view name, std::string_view category) {
   Tracer& t = tracer();

@@ -65,9 +65,20 @@ class Tracer {
 /// The process-global span collector.
 Tracer& tracer();
 
-/// Trace lane of the calling thread: 0 for any non-pool thread, the
-/// stable ThreadPool worker id (>= 1) inside a pool worker.
+/// Trace lane of the calling thread: an explicit setThreadLane() binding
+/// if one is active, else 0 for any non-pool thread or the stable
+/// ThreadPool worker id (>= 1) inside a pool worker.
 int currentLane();
+
+/// Binds an explicit trace lane to the calling thread (0 unbinds). Serve
+/// session threads are not pool workers, so without this they all
+/// collapse onto lane 0 and their spans render as one unreadable row;
+/// the server binds lane 1000 + session id per connection thread.
+void setThreadLane(int lane);
+
+/// Lane id base for serve session threads: session N traces in lane
+/// kServeLaneBase + N, clear of any plausible pool worker id.
+inline constexpr int kServeLaneBase = 1000;
 
 /// RAII span; records into the global tracer if it was enabled at
 /// construction time.

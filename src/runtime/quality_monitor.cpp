@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace psmgen::runtime {
@@ -185,6 +186,23 @@ void QualityMonitor::evaluateLocked() {
                        {"lost_percent", window_.lostPercent()},
                        {"resyncs_per_kilorow", window_.resyncsPerKilorow()},
                        {"residual_ewma_z", window_.residual_ewma_z}});
+    if (obs::flightRecorder().enabled()) {
+      // The event's session comes from the thread binding (a serve
+      // session thread carries its id; stdio mode records session 0).
+      obs::FlightEvent event;
+      event.row = window_.rows;
+      event.detail = static_cast<std::uint32_t>(next);
+      event.kind = static_cast<std::uint16_t>(obs::FlightEventKind::Drift);
+      if (next == DriftStatus::Degraded) event.flags |= obs::kFlightDegraded;
+      if (next == DriftStatus::Drifted) event.flags |= obs::kFlightDrifted;
+      obs::flightRecorder().record(event);
+      // Entering Drifted is a dump trigger: capture the window of events
+      // that led here while it is still in the rings.
+      if (next == DriftStatus::Drifted) {
+        obs::flightRecorder().triggerDump(
+            "drift", obs::FlightRecorder::threadSession());
+      }
+    }
   } else if (next == DriftStatus::Drifted) {
     // Heartbeat while drifted, throttled so a long drift cannot storm.
     static obs::RateLimiter drift_warn_limiter(/*tokens_per_second=*/0.2,

@@ -1,0 +1,138 @@
+#include "serve/debug_http.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/flight_recorder.hpp"
+#include "runtime/quality_monitor.hpp"
+#include "serve/server.hpp"
+
+namespace psmgen::serve {
+
+namespace {
+
+const char* sessionStateName(int state) {
+  switch (static_cast<Session::State>(state)) {
+    case Session::State::AwaitHello: return "await_hello";
+    case Session::State::Streaming: return "streaming";
+    case Session::State::Done: return "done";
+    case Session::State::Failed: return "failed";
+  }
+  return "?";
+}
+
+void appendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+void appendDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string renderSessionsJson(const PredictionServer& server) {
+  const auto records = server.sessions().snapshot();
+  const auto now = std::chrono::steady_clock::now();
+  std::string out;
+  out.reserve(256 + records.size() * 192);
+  out += "{\n  \"schema\": \"psmgen.sessions.v1\",\n  \"active\": ";
+  out += std::to_string(records.size());
+  out += ",\n  \"total_opened\": ";
+  out += std::to_string(server.sessions().totalOpened());
+  out += ",\n  \"truncated\": ";
+  out += records.size() > kMaxSessionsRendered ? "true" : "false";
+  out += ",\n  \"sessions\": [";
+  bool first = true;
+  std::size_t rendered = 0;
+  for (const auto& r : records) {
+    if (rendered++ >= kMaxSessionsRendered) break;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"id\": " + std::to_string(r->id) + ", \"peer\": \"";
+    appendEscaped(out, r->peer);
+    out += "\", \"uptime_seconds\": ";
+    appendDouble(out,
+                 std::chrono::duration<double>(now - r->start).count());
+    out += ", \"state\": \"";
+    out += sessionStateName(r->state.load(std::memory_order_relaxed));
+    out += "\", \"rows\": ";
+    out += std::to_string(r->rows.load(std::memory_order_relaxed));
+    out += ", \"frames\": ";
+    out += std::to_string(r->frames.load(std::memory_order_relaxed));
+    out += ", \"predictions\": ";
+    out += std::to_string(r->predictions.load(std::memory_order_relaxed));
+    out += ", \"wsp_percent\": ";
+    appendDouble(out, r->wspPercent());
+    out += ", \"resyncs\": ";
+    out += std::to_string(r->resyncs.load(std::memory_order_relaxed));
+    out += ", \"drift\": \"";
+    out += runtime::driftStatusName(static_cast<runtime::DriftStatus>(
+        r->drift.load(std::memory_order_relaxed)));
+    out += "\", \"rate_stalls\": ";
+    out += std::to_string(r->rate_stalls.load(std::memory_order_relaxed));
+    out += ", \"last_event_id\": ";
+    out += std::to_string(r->last_event_id.load(std::memory_order_relaxed));
+    out += "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string renderEventsJson(std::uint64_t session) {
+  std::ostringstream os;
+  obs::flightRecorder().writeJson(os, "on_demand", session,
+                                  kMaxEventsRendered);
+  return os.str();
+}
+
+void registerDebugRoutes(obs::HttpServer& http, const PredictionServer* server,
+                         std::string build_json) {
+  using Request = obs::HttpServer::Request;
+  using Response = obs::HttpServer::Response;
+
+  http.handle("/debug/sessions", [server](const Request&) -> Response {
+    if (server == nullptr) {
+      return {404, "text/plain; charset=utf-8",
+              "no live session registry (stdio mode serves one implicit "
+              "stream; use /debug/events)\n"};
+    }
+    return {200, "application/json; charset=utf-8",
+            renderSessionsJson(*server)};
+  });
+
+  http.handle("/debug/events", [server](const Request& request) -> Response {
+    std::uint64_t session = 0;
+    const std::string raw = request.queryParam("session");
+    if (!raw.empty()) {
+      char* end = nullptr;
+      session = std::strtoull(raw.c_str(), &end, 10);
+      if (end == raw.c_str() || *end != '\0' || session == 0) {
+        return {400, "text/plain; charset=utf-8",
+                "session must be a positive integer\n"};
+      }
+      const bool live =
+          server != nullptr && server->sessions().find(session) != nullptr;
+      if (!live && !obs::flightRecorder().hasSession(session)) {
+        return {404, "text/plain; charset=utf-8",
+                "unknown session " + raw + "\n"};
+      }
+    }
+    return {200, "application/json; charset=utf-8",
+            renderEventsJson(session)};
+  });
+
+  http.handle("/debug/build",
+              [build_json = std::move(build_json)](const Request&) -> Response {
+                return {200, "application/json; charset=utf-8", build_json};
+              });
+}
+
+}  // namespace psmgen::serve

@@ -1,0 +1,47 @@
+#pragma once
+// Live-introspection HTTP routes for the prediction service, served by
+// the same loopback obs::HttpServer that exposes /metrics:
+//
+//   /debug/sessions             per-session table of every live session
+//                               (peer, uptime, rows, WSP, drift status,
+//                               rate-limit stalls, last event id)
+//   /debug/events[?session=N]   recent flight-recorder events, newest
+//                               window, optionally filtered to a session
+//                               (404 when N is neither live nor in the
+//                               recorded window; 400 when non-numeric)
+//   /debug/build                build/model identity JSON
+//
+// All responses are bounded: the session table caps at
+// kMaxSessionsRendered rows and the event list at kMaxEventsRendered
+// events (a `truncated` marker says when the cap bit), so a scrape of a
+// fully loaded server can never produce an unbounded body. GET/HEAD
+// only, loopback only — both inherited from obs::HttpServer.
+
+#include <cstddef>
+#include <string>
+
+#include "obs/http_server.hpp"
+
+namespace psmgen::serve {
+
+class PredictionServer;
+
+inline constexpr std::size_t kMaxSessionsRendered = 256;
+inline constexpr std::size_t kMaxEventsRendered = 256;
+
+/// `psmgen.sessions.v1` JSON for `server`'s live sessions (bounded).
+std::string renderSessionsJson(const PredictionServer& server);
+
+/// `psmgen.events.v1` JSON of the newest flight-recorder events,
+/// optionally filtered to one session (0 = all), capped at
+/// kMaxEventsRendered.
+std::string renderEventsJson(std::uint64_t session);
+
+/// Registers the three /debug routes on `http`. `server` may be null
+/// (stdio mode): /debug/sessions then answers 404 with an explanatory
+/// body, the other two routes work everywhere. `build_json` is served
+/// verbatim by /debug/build. `server` must outlive `http`.
+void registerDebugRoutes(obs::HttpServer& http, const PredictionServer* server,
+                         std::string build_json);
+
+}  // namespace psmgen::serve

@@ -10,8 +10,10 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 
 namespace psmgen::serve {
 
@@ -41,6 +43,18 @@ void setTimeoutMs(int fd, int option, int ms) {
 /// Receive poll granularity: the connection loop wakes this often to
 /// notice drain and to advance the idle clock, whatever the client does.
 constexpr int kRecvPollMs = 100;
+
+/// "ip:port" of the accepted peer; "unknown" when getpeername fails.
+std::string peerName(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return "unknown";
+  }
+  char ip[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
 
 }  // namespace
 
@@ -159,8 +173,9 @@ void PredictionServer::acceptLoop() {
         .set(static_cast<double>(now_active));
     auto conn = std::make_unique<Conn>();
     Conn* raw = conn.get();
-    conn->thread = std::thread([this, fd, raw] {
-      runConnection(fd);
+    std::string peer = peerName(fd);
+    conn->thread = std::thread([this, fd, raw, peer = std::move(peer)] {
+      runConnection(fd, peer);
       raw->done.store(true, std::memory_order_release);
     });
     std::lock_guard<std::mutex> lock(conns_mutex_);
@@ -169,7 +184,7 @@ void PredictionServer::acceptLoop() {
   }
 }
 
-void PredictionServer::runConnection(int fd) {
+void PredictionServer::runConnection(int fd, std::string peer) {
   setTimeoutMs(fd, SO_RCVTIMEO, kRecvPollMs);
   Session::Config scfg;
   scfg.model_id = config_.model_id;
@@ -177,6 +192,25 @@ void PredictionServer::runConnection(int fd) {
   scfg.rows_per_second = config_.rows_per_second;
   scfg.quality = config_.quality;
   Session session(model_, scfg);
+
+  // Register in the live-session registry and bind the observability
+  // layer to this thread: every flight event recorded below (including
+  // from QualityMonitor, which knows nothing about sessions) carries the
+  // session id, every trace span lands in this session's own lane, and
+  // log lines from the session carry the id field.
+  std::shared_ptr<SessionRecord> record = registry_.open(std::move(peer));
+  const std::uint64_t session_id = record->id;
+  session.bindRecord(record);
+  obs::FlightRecorder::setThreadSession(session_id);
+  obs::setThreadLane(obs::kServeLaneBase + static_cast<int>(session_id));
+  if (obs::flightRecorder().enabled()) {
+    obs::FlightEvent event;
+    event.kind = static_cast<std::uint16_t>(obs::FlightEventKind::SessionOpen);
+    const std::uint64_t event_id = obs::flightRecorder().record(event);
+    record->last_event_id.store(event_id, std::memory_order_relaxed);
+  }
+  obs::debug("serve.session_open", {{"session", session_id},
+                                    {"peer", record->peer}});
 
   std::string out;
   char buf[16384];
@@ -218,13 +252,24 @@ void PredictionServer::runConnection(int fd) {
     }
   }
   ::close(fd);
+  if (obs::flightRecorder().enabled()) {
+    obs::FlightEvent event;
+    event.row = session.rows();
+    event.detail = static_cast<std::uint32_t>(session.rows());
+    event.kind = static_cast<std::uint16_t>(obs::FlightEventKind::SessionClose);
+    obs::flightRecorder().record(event);
+  }
+  registry_.close(session_id);
+  obs::FlightRecorder::setThreadSession(0);
+  obs::setThreadLane(0);
   const std::size_t now_active =
       active_.fetch_sub(1, std::memory_order_relaxed) - 1;
   obs::metrics()
       .gauge("serve.sessions_active")
       .set(static_cast<double>(now_active));
   obs::debug("serve.session_closed",
-             {{"rows", session.rows()},
+             {{"session", session_id},
+              {"rows", session.rows()},
               {"state", static_cast<int>(session.state())}});
 }
 

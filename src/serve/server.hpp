@@ -35,6 +35,7 @@
 #include <thread>
 
 #include "serialize/psm_artifact.hpp"
+#include "serve/registry.hpp"
 #include "serve/session.hpp"
 
 namespace psmgen::serve {
@@ -96,6 +97,10 @@ class PredictionServer {
     return total_.load(std::memory_order_relaxed);
   }
 
+  /// Live session records, one per open connection — the data behind the
+  /// `/debug/sessions` route. Safe to read from any thread.
+  const SessionRegistry& sessions() const { return registry_; }
+
  private:
   struct Conn {
     std::thread thread;
@@ -103,7 +108,7 @@ class PredictionServer {
   };
 
   void acceptLoop();
-  void runConnection(int fd);
+  void runConnection(int fd, std::string peer);
   void reapFinishedLocked();
 
   const serialize::PsmModel& model_;
@@ -117,6 +122,7 @@ class PredictionServer {
   std::thread accept_thread_;
   std::mutex conns_mutex_;  ///< guards conns_
   std::list<std::unique_ptr<Conn>> conns_;
+  SessionRegistry registry_;
 };
 
 }  // namespace psmgen::serve

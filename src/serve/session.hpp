@@ -35,6 +35,7 @@
 #include "runtime/quality_monitor.hpp"
 #include "serialize/psm_artifact.hpp"
 #include "serve/protocol.hpp"
+#include "serve/registry.hpp"
 
 namespace psmgen::serve {
 
@@ -56,6 +57,16 @@ class Session {
   /// `model` must outlive the session (it is the server's shared
   /// immutable model; the session only ever reads it).
   Session(const serialize::PsmModel& model, Config config);
+
+  /// Attaches the server's live-registry record: the session mirrors its
+  /// progress (rows, frames, violation counters, drift status) into it
+  /// and stamps its flight-recorder events with the record's id. Optional
+  /// — the stdio mode and protocol unit tests run without one.
+  void bindRecord(std::shared_ptr<SessionRecord> record);
+
+  /// The bound record's id (0 when unbound); doubles as the session id
+  /// in flight events and log lines.
+  std::uint64_t id() const { return record_ ? record_->id : 0; }
 
   /// Feeds raw connection bytes; protocol responses are appended to
   /// `out`. Returns false once the session is terminal (Done/Failed) and
@@ -79,6 +90,9 @@ class Session {
  private:
   bool handleFrame(const Frame& frame, std::string& out);
   void fail(ErrorCode code, const std::string& message, std::string& out);
+  /// Mirrors predictor stats + state into the bound record (no-op when
+  /// unbound).
+  void syncRecord();
 
   const serialize::PsmModel& model_;
   Config config_;
@@ -86,6 +100,7 @@ class Session {
   runtime::QualityMonitor monitor_;
   FrameDecoder decoder_;
   std::unique_ptr<obs::RateLimiter> limiter_;  ///< null when unlimited
+  std::shared_ptr<SessionRecord> record_;      ///< null when unbound
   State state_ = State::AwaitHello;
   std::size_t rows_ = 0;
 };

@@ -48,6 +48,7 @@
 #include "core/flow.hpp"
 #include "ip/ip_factory.hpp"
 #include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/http_server.hpp"
 #include "obs/obs.hpp"
 #include "power/gate_estimator.hpp"
@@ -55,6 +56,7 @@
 #include "runtime/quality_monitor.hpp"
 #include "runtime/streaming_reader.hpp"
 #include "serialize/psm_artifact.hpp"
+#include "serve/debug_http.hpp"
 #include "serve/server.hpp"
 #include "trace/trace_io.hpp"
 
@@ -132,6 +134,12 @@ int usage() {
       "/readyz to 503 (default 6; degraded at half)\n"
       "  --linger-ms N      keep serving N ms after the input stream "
       "ends (default 0)\n"
+      "  --flight-events N  flight-recorder ring capacity per thread "
+      "(default 1024; 0 disables)\n"
+      "  --flight-dump-dir D  write automatic flight dumps (protocol "
+      "error, drift, fatal signal)\n"
+      "                  into D as psmgen-flight-<reason>-<seq>.json "
+      "(default: no automatic dumps)\n"
       "\n"
       "observability (stderr/file only; stdout stays pure results):\n"
       "  --log-level LVL    trace|debug|info|warn|error|off "
@@ -172,6 +180,11 @@ struct Args {
   double drift_wsp = 35.0;
   double drift_z = 6.0;
   long linger_ms = 0;
+  /// Flight-recorder ring capacity per thread; 0 disables the recorder.
+  std::size_t flight_events = 1024;
+  /// Directory for automatic flight dumps (protocol error, drift, fatal
+  /// signal); empty disables automatic dumps (on-demand routes still work).
+  std::string flight_dump_dir;
   // lint surface (`psmgen lint` and `train --lint`).
   bool lint_json = false;
   bool lint_werror = false;
@@ -332,6 +345,19 @@ bool parse(int argc, char** argv, Args& args) {
                    {{"flag", flag}, {"why", "expects milliseconds >= 0"}});
         return false;
       }
+    } else if (flag == "--flight-events") {
+      std::string v;
+      if (!value(v)) return false;
+      const long n = std::atol(v.c_str());
+      if (n < 0) {
+        obs::error("cli.bad_flag",
+                   {{"flag", flag},
+                    {"why", "expects an event count >= 0 (0 disables)"}});
+        return false;
+      }
+      args.flight_events = static_cast<std::size_t>(n);
+    } else if (flag == "--flight-dump-dir") {
+      if (!value(args.flight_dump_dir)) return false;
     } else if (flag == "--json") {
       args.lint_json = true;
     } else if (flag == "--werror") {
@@ -691,7 +717,7 @@ bool writePortFile(const std::string& path, std::uint16_t port) {
 /// test and the CI smoke job) while the HTTP thread answers scrapes.
 int runServeStdio(const Args& args, const serialize::PsmModel& model,
                   const runtime::QualityMonitorConfig& qconfig,
-                  obs::HttpServer& server) {
+                  obs::HttpServer& server, const std::string& buildinfo) {
   std::vector<double> ref;
   if (!args.ref.empty()) {
     ref = trace::loadPowerTrace(args.ref).samples();
@@ -708,9 +734,12 @@ int runServeStdio(const Args& args, const serialize::PsmModel& model,
 
   runtime::OnlinePredictor predictor(model);
   runtime::QualityMonitor monitor(predictor, model.psm, qconfig);
-  server.handle("/readyz", [&monitor](const std::string&) {
+  server.handle("/readyz", [&monitor](const obs::HttpServer::Request&) {
     return runtime::readyzResponse(monitor);
   });
+  // Stdio mode has no session registry; /debug/sessions explains that
+  // while /debug/events and /debug/build work as in TCP mode.
+  serve::registerDebugRoutes(server, nullptr, buildinfo);
   if (!server.listen(static_cast<std::uint16_t>(args.port))) return 1;
   server.start();
   if (!args.port_file.empty() &&
@@ -761,7 +790,7 @@ int runServeStdio(const Args& args, const serialize::PsmModel& model,
 /// the shared model. Runs until SIGINT/SIGTERM, then drains gracefully.
 int runServeTcp(const Args& args, const serialize::PsmModel& model,
                 const runtime::QualityMonitorConfig& qconfig,
-                obs::HttpServer& server) {
+                obs::HttpServer& server, const std::string& buildinfo) {
   serve::ServerConfig config;
   config.port = static_cast<std::uint16_t>(args.serve_port);
   config.max_sessions = args.max_sessions;
@@ -773,7 +802,7 @@ int runServeTcp(const Args& args, const serialize::PsmModel& model,
 
   // /readyz flips to 503 as soon as the drain starts so a load balancer
   // stops routing to an instance that refuses new sessions.
-  server.handle("/readyz", [&prediction](const std::string&) {
+  server.handle("/readyz", [&prediction](const obs::HttpServer::Request&) {
     if (prediction.draining()) {
       return obs::HttpServer::Response{503, "text/plain; charset=utf-8",
                                        "draining\n"};
@@ -781,6 +810,7 @@ int runServeTcp(const Args& args, const serialize::PsmModel& model,
     return obs::HttpServer::Response{200, "text/plain; charset=utf-8",
                                      "ok\n"};
   });
+  serve::registerDebugRoutes(server, &prediction, buildinfo);
   if (!server.listen(static_cast<std::uint16_t>(args.port))) return 1;
   server.start();
   if (!prediction.listen()) return 1;
@@ -825,6 +855,17 @@ int runServe(const Args& args) {
   // of --metrics-out (results on stdout stay byte-identical either way).
   obs::metrics().setEnabled(true);
   obs::metrics().gauge("predict.cold_load_ms").set(cold_load_ms);
+
+  // The flight recorder runs whenever serving does: per-thread rings of
+  // the last --flight-events wide events, dumped automatically on
+  // protocol errors, drift transitions and fatal signals when a dump
+  // directory is configured.
+  obs::flightRecorder().configure(args.flight_events);
+  obs::flightRecorder().setEnabled(args.flight_events > 0);
+  if (!args.flight_dump_dir.empty()) {
+    obs::flightRecorder().setDumpDir(args.flight_dump_dir);
+    obs::installFatalSignalDump();
+  }
   obs::info("serve.loaded_model",
             {{"path", args.psm},
              {"states", model.psm.stateCount()},
@@ -842,24 +883,24 @@ int runServe(const Args& args) {
 
   obs::HttpServer server;
   const std::string model_label = args.psm;
-  server.handle("/metrics", [model_label](const std::string&) {
+  server.handle("/metrics", [model_label](const obs::HttpServer::Request&) {
     obs::PrometheusOptions options;
     options.const_labels = {{"model", model_label}};
     return obs::HttpServer::Response{
         200, "text/plain; version=0.0.4; charset=utf-8",
         obs::renderPrometheus(obs::metrics(), options)};
   });
-  server.handle("/healthz", [](const std::string&) {
+  server.handle("/healthz", [](const obs::HttpServer::Request&) {
     return obs::HttpServer::Response{200, "text/plain; charset=utf-8",
                                      "ok\n"};
   });
   const std::string buildinfo = buildInfoJson(args.psm, model);
-  server.handle("/buildinfo", [buildinfo](const std::string&) {
+  server.handle("/buildinfo", [buildinfo](const obs::HttpServer::Request&) {
     return obs::HttpServer::Response{200, "application/json", buildinfo};
   });
 
-  if (args.stdio) return runServeStdio(args, model, qconfig, server);
-  return runServeTcp(args, model, qconfig, server);
+  if (args.stdio) return runServeStdio(args, model, qconfig, server, buildinfo);
+  return runServeTcp(args, model, qconfig, server, buildinfo);
 }
 
 int runDemo(const std::string& name, unsigned threads) {

@@ -354,6 +354,56 @@ TEST(Exposition, GoldenScrape) {
   EXPECT_EQ(obs::renderPrometheus(registry, options), expected);
 }
 
+/// Exemplars: a histogram record carrying a flight-recorder event id
+/// attaches an OpenMetrics ` # {event_id="N"} value ts` suffix to the
+/// newest sample's bucket, and the toggle strips every exemplar.
+TEST(Exposition, ExemplarsAttachToTheMatchingBucket) {
+  obs::Registry registry;
+  registry.setEnabled(true);
+  obs::Histogram& h = registry.histogram("lat.rows");
+  h.record(0.5, /*event_id=*/7, /*ts_us=*/1'500'000);
+  h.record(8.0, /*event_id=*/9, /*ts_us=*/2'000'000);
+  h.record(100.0, /*event_id=*/11, /*ts_us=*/2'250'000);
+  h.record(0.25);  // no event id: contributes to counts, not exemplars
+  obs::PrometheusOptions options;
+  options.buckets = {1.0, 10.0};
+  const std::string text = obs::renderPrometheus(registry, options);
+  EXPECT_NE(
+      text.find("psmgen_lat_rows_bucket{le=\"1\"} 2 # {event_id=\"7\"} "
+                "0.5 1.5\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("psmgen_lat_rows_bucket{le=\"10\"} 3 # {event_id=\"9\"} "
+                "8 2\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("psmgen_lat_rows_bucket{le=\"+Inf\"} 4 # {event_id=\"11\"} "
+                "100 2.25\n"),
+      std::string::npos)
+      << text;
+
+  options.exemplars = false;
+  const std::string plain = obs::renderPrometheus(registry, options);
+  EXPECT_EQ(plain.find(" # {"), std::string::npos) << plain;
+}
+
+/// The exemplar ring is bounded: only the newest kMaxExemplars survive.
+TEST(Exposition, ExemplarStorageIsBounded) {
+  obs::Registry registry;
+  registry.setEnabled(true);
+  obs::Histogram& h = registry.histogram("lat.rows");
+  const std::size_t cap = obs::Histogram::kMaxExemplars;
+  for (std::size_t i = 0; i < cap + 10; ++i) {
+    h.record(1.0, /*event_id=*/i + 1, /*ts_us=*/i);
+  }
+  const std::vector<obs::Exemplar> exemplars = h.exemplars();
+  ASSERT_EQ(exemplars.size(), cap);
+  EXPECT_EQ(exemplars.front().event_id, 11u);  // oldest surviving
+  EXPECT_EQ(exemplars.back().event_id, cap + 10);
+}
+
 // ------------------------------------------- end-to-end scrape validation
 
 trace::VariableSet toyVars() {

@@ -1,0 +1,288 @@
+// Tests for the flight recorder (obs/flight_recorder.hpp): ring
+// wraparound and dropped-event accounting, session filtering and the
+// thread binding, concurrent writers racing a snapshotter (the TSan
+// target), the golden "psmgen.events.v1" dump, and triggerDump's file
+// naming plus its one-per-second rate limit.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+
+namespace psmgen {
+namespace {
+
+using obs::FlightEvent;
+using obs::FlightEventKind;
+using obs::FlightRecorder;
+
+/// Deterministic test clock: microseconds advanced by hand.
+std::atomic<std::uint64_t> g_fake_now_us{0};
+std::uint64_t fakeNowUs() {
+  return g_fake_now_us.load(std::memory_order_relaxed);
+}
+
+FlightEvent mark(std::uint64_t session = 0, std::uint64_t row = 0) {
+  FlightEvent event;
+  event.session = session;
+  event.row = row;
+  event.kind = static_cast<std::uint16_t>(FlightEventKind::Mark);
+  return event;
+}
+
+/// A fresh recorder per test. configure() bumps the global thread-ring
+/// generation, so each test's records resolve against its own instance
+/// even though the cache is thread-local.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    recorder_.configure(8);
+    recorder_.setEnabled(true);
+    g_fake_now_us.store(0, std::memory_order_relaxed);
+  }
+
+  void TearDown() override {
+    FlightRecorder::setThreadSession(0);
+  }
+
+  FlightRecorder recorder_;
+};
+
+TEST_F(FlightRecorderTest, DisabledRecordIsAZeroCostNoOp) {
+  recorder_.setEnabled(false);
+  FlightEvent event = mark();
+  EXPECT_EQ(recorder_.record(event), 0u);
+  EXPECT_EQ(recorder_.lastEventId(), 0u);
+  EXPECT_TRUE(recorder_.snapshot().empty());
+}
+
+TEST_F(FlightRecorderTest, RecordAssignsMonotoneIdsAndFillsTheEvent) {
+  recorder_.setClockForTest(&fakeNowUs);
+  g_fake_now_us.store(42, std::memory_order_relaxed);
+  FlightEvent first = mark(/*session=*/7, /*row=*/3);
+  FlightEvent second = mark(/*session=*/7, /*row=*/4);
+  EXPECT_EQ(recorder_.record(first), 1u);
+  g_fake_now_us.store(43, std::memory_order_relaxed);
+  EXPECT_EQ(recorder_.record(second), 2u);
+  // record() fills id and ts_us in place so callers can feed exemplars.
+  EXPECT_EQ(first.id, 1u);
+  EXPECT_EQ(first.ts_us, 42u);
+  EXPECT_EQ(second.ts_us, 43u);
+  EXPECT_EQ(recorder_.lastEventId(), 2u);
+
+  const std::vector<FlightEvent> events = recorder_.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].id, 1u);
+  EXPECT_EQ(events[0].session, 7u);
+  EXPECT_EQ(events[0].row, 3u);
+  EXPECT_EQ(events[1].id, 2u);
+}
+
+TEST_F(FlightRecorderTest, ThreadSessionBindingStampsUnattributedEvents) {
+  FlightRecorder::setThreadSession(11);
+  EXPECT_EQ(FlightRecorder::threadSession(), 11u);
+  FlightEvent unattributed = mark();
+  FlightEvent explicit_session = mark(/*session=*/5);
+  recorder_.record(unattributed);
+  recorder_.record(explicit_session);
+  EXPECT_EQ(unattributed.session, 11u);     // inherited from the binding
+  EXPECT_EQ(explicit_session.session, 5u);  // explicit wins
+
+  FlightRecorder::setThreadSession(0);
+  FlightEvent unbound = mark();
+  recorder_.record(unbound);
+  EXPECT_EQ(unbound.session, 0u);
+}
+
+TEST_F(FlightRecorderTest, WraparoundKeepsTheNewestEventsAndCountsDrops) {
+  // Capacity 8: recording 20 must retain exactly the last 8, in order,
+  // and account the 12 overwritten ones as dropped.
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    FlightEvent event = mark(/*session=*/1, /*row=*/i);
+    recorder_.record(event);
+  }
+  const std::vector<FlightEvent> events = recorder_.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, 13 + i);
+    EXPECT_EQ(events[i].row, 12 + i);
+  }
+  EXPECT_EQ(recorder_.droppedEvents(), 12u);
+}
+
+TEST_F(FlightRecorderTest, SnapshotFiltersBySessionAndTrimsToNewest) {
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    FlightEvent event = mark(/*session=*/1 + i % 2, /*row=*/i);
+    recorder_.record(event);
+  }
+  const std::vector<FlightEvent> odd = recorder_.snapshot(/*session=*/2);
+  ASSERT_EQ(odd.size(), 3u);
+  for (const FlightEvent& e : odd) EXPECT_EQ(e.session, 2u);
+
+  const std::vector<FlightEvent> newest =
+      recorder_.snapshot(/*session=*/0, /*max_events=*/2);
+  ASSERT_EQ(newest.size(), 2u);
+  EXPECT_EQ(newest[0].id, 5u);
+  EXPECT_EQ(newest[1].id, 6u);
+
+  EXPECT_TRUE(recorder_.hasSession(1));
+  EXPECT_TRUE(recorder_.hasSession(2));
+  EXPECT_FALSE(recorder_.hasSession(3));
+  EXPECT_FALSE(recorder_.hasSession(0));
+}
+
+TEST_F(FlightRecorderTest, ClearDropsHistoryAndResetsCounters) {
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    FlightEvent event = mark(/*session=*/1);
+    recorder_.record(event);
+  }
+  recorder_.clear();
+  EXPECT_TRUE(recorder_.snapshot().empty());
+  EXPECT_EQ(recorder_.lastEventId(), 0u);
+  EXPECT_EQ(recorder_.droppedEvents(), 0u);
+  FlightEvent event = mark();
+  EXPECT_EQ(recorder_.record(event), 1u);  // ids restart
+}
+
+TEST_F(FlightRecorderTest, ConfigureZeroDisablesRecording) {
+  recorder_.configure(0);
+  EXPECT_FALSE(recorder_.enabled());
+  FlightEvent event = mark();
+  EXPECT_EQ(recorder_.record(event), 0u);
+}
+
+TEST_F(FlightRecorderTest, ConcurrentWritersAndSnapshotsStayConsistent) {
+  // The TSan target: 8 writer threads fill their own rings while a
+  // reader snapshots concurrently. Afterwards every surviving id is
+  // unique and each ring holds its newest `capacity` events.
+  recorder_.configure(64);
+  recorder_.setEnabled(true);
+  constexpr int kWriters = 8;
+  constexpr std::uint64_t kPerWriter = 500;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)recorder_.snapshot();
+      (void)recorder_.hasSession(1);
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      FlightRecorder::setThreadSession(static_cast<std::uint64_t>(w + 1));
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        FlightEvent event = mark(/*session=*/0, /*row=*/i);
+        recorder_.record(event);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const std::vector<FlightEvent> events = recorder_.snapshot();
+  EXPECT_EQ(events.size(), kWriters * 64u);
+  std::set<std::uint64_t> ids;
+  for (const FlightEvent& e : events) {
+    EXPECT_TRUE(ids.insert(e.id).second) << "duplicate id " << e.id;
+    EXPECT_GE(e.session, 1u);
+    EXPECT_LE(e.session, static_cast<std::uint64_t>(kWriters));
+  }
+  EXPECT_EQ(recorder_.droppedEvents(), kWriters * (kPerWriter - 64));
+}
+
+TEST_F(FlightRecorderTest, GoldenEventsV1Dump) {
+  recorder_.setClockForTest(&fakeNowUs);
+  g_fake_now_us.store(1000, std::memory_order_relaxed);
+  FlightEvent open = mark(/*session=*/3);
+  open.kind = static_cast<std::uint16_t>(FlightEventKind::SessionOpen);
+  recorder_.record(open);
+
+  g_fake_now_us.store(2500, std::memory_order_relaxed);
+  FlightEvent rows = mark(/*session=*/3, /*row=*/128);
+  rows.kind = static_cast<std::uint16_t>(FlightEventKind::Rows);
+  rows.detail = 128;
+  rows.state = 2;
+  rows.flags = obs::kFlightResync | obs::kFlightWrong;
+  rows.latency_ms = 0.5f;
+  recorder_.record(rows);
+
+  std::ostringstream os;
+  recorder_.writeJson(os, "golden", /*session=*/3);
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"schema\": \"psmgen.events.v1\",\n"
+            "  \"reason\": \"golden\",\n"
+            "  \"last_event_id\": 2,\n"
+            "  \"dropped\": 0,\n"
+            "  \"events\": [\n"
+            "    {\"id\": 1, \"ts_us\": 1000, \"session\": 3, \"row\": 0, "
+            "\"kind\": \"session_open\", \"detail\": 0, \"state\": null, "
+            "\"flags\": 0, \"latency_ms\": 0},\n"
+            "    {\"id\": 2, \"ts_us\": 2500, \"session\": 3, \"row\": 128, "
+            "\"kind\": \"rows\", \"detail\": 128, \"state\": 2, "
+            "\"flags\": 10, \"latency_ms\": 0.5}\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST_F(FlightRecorderTest, EmptySnapshotRendersAnEmptyEventsArray) {
+  std::ostringstream os;
+  recorder_.writeJson(os, "empty");
+  EXPECT_NE(os.str().find("\"events\": []\n"), std::string::npos) << os.str();
+}
+
+TEST_F(FlightRecorderTest, TriggerDumpNamesFilesAndRateLimits) {
+  recorder_.setClockForTest(&fakeNowUs);
+  g_fake_now_us.store(5'000'000, std::memory_order_relaxed);
+  const std::string dir = ::testing::TempDir() + "psmgen_flight_test";
+  ::mkdir(dir.c_str(), 0755);  // EEXIST from a previous run is fine
+  std::remove((dir + "/psmgen-flight-drift-0.json").c_str());
+  std::remove((dir + "/psmgen-flight-drift-1.json").c_str());
+
+  // No dump dir: trigger is a silent no-op.
+  EXPECT_EQ(recorder_.triggerDump("drift"), "");
+
+  recorder_.setDumpDir(dir);
+  FlightEvent event = mark(/*session=*/9);
+  recorder_.record(event);
+  const std::string first = recorder_.triggerDump("drift", 9);
+  EXPECT_EQ(first, dir + "/psmgen-flight-drift-0.json");
+  std::ifstream in(first);
+  ASSERT_TRUE(in.good()) << "dump file must exist";
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"psmgen.events.v1\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"session\": 9"), std::string::npos);
+
+  // Within the same second: rate-limited to nothing.
+  g_fake_now_us.store(5'500'000, std::memory_order_relaxed);
+  EXPECT_EQ(recorder_.triggerDump("drift", 9), "");
+  // A second later the next trigger fires with the next sequence number.
+  g_fake_now_us.store(6'600'000, std::memory_order_relaxed);
+  EXPECT_EQ(recorder_.triggerDump("drift", 9),
+            dir + "/psmgen-flight-drift-1.json");
+
+  // Disabled recorder never dumps.
+  recorder_.setEnabled(false);
+  g_fake_now_us.store(9'000'000, std::memory_order_relaxed);
+  EXPECT_EQ(recorder_.triggerDump("drift", 9), "");
+}
+
+TEST_F(FlightRecorderTest, InstallFatalSignalDumpIsIdempotent) {
+  EXPECT_TRUE(obs::installFatalSignalDump());
+  EXPECT_TRUE(obs::installFatalSignalDump());
+}
+
+}  // namespace
+}  // namespace psmgen

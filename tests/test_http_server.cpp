@@ -73,16 +73,24 @@ std::string bodyOf(const std::string& response) {
 class HttpServerTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    using Request = obs::HttpServer::Request;
     server_.handle("/healthz",
-                   [](const std::string&) -> obs::HttpServer::Response {
+                   [](const Request&) -> obs::HttpServer::Response {
                      return {200, "text/plain; charset=utf-8", "ok\n"};
                    });
     server_.handle("/echo-path",
-                   [](const std::string& path) -> obs::HttpServer::Response {
-                     return {200, "text/plain; charset=utf-8", path + "\n"};
+                   [](const Request& request) -> obs::HttpServer::Response {
+                     return {200, "text/plain; charset=utf-8",
+                             request.path + "\n"};
+                   });
+    server_.handle("/echo-query",
+                   [](const Request& request) -> obs::HttpServer::Response {
+                     return {200, "text/plain; charset=utf-8",
+                             request.query + "|" +
+                                 request.queryParam("session") + "\n"};
                    });
     server_.handle("/boom",
-                   [](const std::string&) -> obs::HttpServer::Response {
+                   [](const Request&) -> obs::HttpServer::Response {
                      throw std::runtime_error("handler exploded");
                    });
     ASSERT_TRUE(server_.listen(0));
@@ -131,6 +139,19 @@ TEST_F(HttpServerTest, QueryStringIsStrippedBeforeDispatch) {
   EXPECT_EQ(bodyOf(response), "/echo-path\n");
 }
 
+TEST_F(HttpServerTest, QueryStringReachesHandlerAndParses) {
+  const std::string response =
+      get(server_.port(), "/echo-query?session=42&max=7");
+  EXPECT_EQ(statusOf(response), 200);
+  EXPECT_EQ(bodyOf(response), "session=42&max=7|42\n");
+}
+
+TEST_F(HttpServerTest, QueryParamMissingIsEmpty) {
+  const std::string response = get(server_.port(), "/echo-query?other=1");
+  EXPECT_EQ(statusOf(response), 200);
+  EXPECT_EQ(bodyOf(response), "other=1|\n");
+}
+
 TEST_F(HttpServerTest, ThrowingHandlerIs500) {
   const std::string response = get(server_.port(), "/boom");
   EXPECT_EQ(statusOf(response), 500);
@@ -153,7 +174,7 @@ TEST_F(HttpServerTest, ServesSequentialConnections) {
 TEST(HttpServer, StopIsIdempotentAndStopsServing) {
   obs::HttpServer server;
   server.handle("/healthz",
-                [](const std::string&) -> obs::HttpServer::Response {
+                [](const obs::HttpServer::Request&) -> obs::HttpServer::Response {
                   return {200, "text/plain; charset=utf-8", "ok\n"};
                 });
   ASSERT_TRUE(server.listen(0));
@@ -175,7 +196,7 @@ TEST(HttpServer, StopRacingInFlightRequestsIsClean) {
   for (int round = 0; round < 8; ++round) {
     obs::HttpServer server;
     server.handle("/healthz",
-                  [](const std::string&) -> obs::HttpServer::Response {
+                  [](const obs::HttpServer::Request&) -> obs::HttpServer::Response {
                     return {200, "text/plain; charset=utf-8", "ok\n"};
                   });
     ASSERT_TRUE(server.listen(0));
@@ -205,7 +226,7 @@ TEST(HttpServer, ReasonPhrases) {
 TEST(HttpServer, SlowClientGets408AndServerSurvives) {
   obs::HttpServer server;
   server.handle("/healthz",
-                [](const std::string&) -> obs::HttpServer::Response {
+                [](const obs::HttpServer::Request&) -> obs::HttpServer::Response {
                   return {200, "text/plain; charset=utf-8", "ok\n"};
                 });
   server.setRequestDeadlineMs(200);
@@ -243,7 +264,7 @@ TEST(HttpServer, SlowClientGets408AndServerSurvives) {
 TEST(HttpServer, OversizedRequestHeadGets431AndServerSurvives) {
   obs::HttpServer server;
   server.handle("/healthz",
-                [](const std::string&) -> obs::HttpServer::Response {
+                [](const obs::HttpServer::Request&) -> obs::HttpServer::Response {
                   return {200, "text/plain; charset=utf-8", "ok\n"};
                 });
   ASSERT_TRUE(server.listen(0));
