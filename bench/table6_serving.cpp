@@ -145,10 +145,14 @@ int main(int argc, char** argv) {
   // mid-load to check the table reflects the running sessions.
   obs::HttpServer http;
   if (http_port_file != nullptr) {
-    http.handle("/metrics", [](const obs::HttpServer::Request&) {
+    http.handle("/metrics", [](const obs::HttpServer::Request& request) {
+      obs::PrometheusOptions options;
+      options.openmetrics = obs::acceptsOpenMetrics(request.header("accept"));
       return obs::HttpServer::Response{
-          200, "text/plain; version=0.0.4; charset=utf-8",
-          obs::renderPrometheus(obs::metrics(), {})};
+          200,
+          options.openmetrics ? obs::kOpenMetricsContentType
+                              : obs::kPrometheusContentType,
+          obs::renderPrometheus(obs::metrics(), options)};
     });
     serve::registerDebugRoutes(http, &server,
                                "{\"name\": \"table6_serving\"}\n");

@@ -82,14 +82,19 @@ const Exemplar* newestExemplarIn(const std::vector<Exemplar>& exemplars,
   return found;
 }
 
-/// OpenMetrics exemplar suffix: ` # {event_id="N"} value ts_seconds`.
+/// OpenMetrics exemplar suffix: ` # {event_id="N"} value ts_seconds`;
+/// the timestamp is the exemplar's Unix wall-clock stamp in seconds,
+/// printed in fixed point — %g's 9 significant digits would round a
+/// 2020s epoch to ~10-second granularity.
 void appendExemplar(std::string& out, const Exemplar& exemplar) {
   out += " # {event_id=\"";
   appendCount(out, exemplar.event_id);
   out += "\"} ";
   appendNumber(out, exemplar.value);
-  out += ' ';
-  appendNumber(out, static_cast<double>(exemplar.ts_us) / 1e6);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), " %.3f",
+                static_cast<double>(exemplar.ts_us) / 1e6);
+  out += buf;
 }
 
 void appendFamilyHeader(std::string& out, const std::string& name,
@@ -142,19 +147,31 @@ std::string escapeLabelValue(std::string_view value) {
   return out;
 }
 
+bool acceptsOpenMetrics(std::string_view accept_header) {
+  return accept_header.find("application/openmetrics-text") !=
+         std::string_view::npos;
+}
+
 void writePrometheus(std::ostream& os, const Registry& registry,
                      const PrometheusOptions& options) {
   const std::vector<double>& bounds =
       options.buckets.empty() ? defaultBuckets() : options.buckets;
   const RegistrySnapshot snap = registry.snapshot(bounds);
   const std::string labels = renderLabelBlock(options.const_labels);
+  // Exemplar syntax exists only in OpenMetrics; a 0.0.4 scrape must
+  // never contain it or the whole scrape fails to parse.
+  const bool exemplars = options.openmetrics && options.exemplars;
 
   std::string out;
   out.reserve(4096);
   for (const auto& [dotted, value] : snap.counters) {
-    const std::string name =
-        options.prefix + sanitizeMetricName(dotted) + "_total";
-    appendFamilyHeader(out, name, dotted, "counter");
+    const std::string family = options.prefix + sanitizeMetricName(dotted);
+    const std::string name = family + "_total";
+    // OpenMetrics names the counter *family* without the `_total`
+    // suffix and derives the sample name from it; 0.0.4 declares the
+    // suffixed sample name directly.
+    appendFamilyHeader(out, options.openmetrics ? family : name, dotted,
+                       "counter");
     out += name + labels + ' ';
     appendCount(out, value);
     out += '\n';
@@ -176,7 +193,7 @@ void writePrometheus(std::ostream& os, const Registry& registry,
       out += name + "_bucket" + renderBucketLabels(options.const_labels, le) +
              ' ';
       appendCount(out, h.cumulative[b]);
-      if (options.exemplars) {
+      if (exemplars) {
         const Exemplar* e = newestExemplarIn(h.exemplars, lower, bounds[b]);
         if (e != nullptr) appendExemplar(out, *e);
       }
@@ -186,7 +203,7 @@ void writePrometheus(std::ostream& os, const Registry& registry,
     out += name + "_bucket" + renderBucketLabels(options.const_labels, "+Inf") +
            ' ';
     appendCount(out, h.stats.count);
-    if (options.exemplars) {
+    if (exemplars) {
       const Exemplar* e = newestExemplarIn(
           h.exemplars, lower, std::numeric_limits<double>::infinity());
       if (e != nullptr) appendExemplar(out, *e);
@@ -199,6 +216,7 @@ void writePrometheus(std::ostream& os, const Registry& registry,
     appendCount(out, h.stats.count);
     out += '\n';
   }
+  if (options.openmetrics) out += "# EOF\n";
   os << out;
 }
 

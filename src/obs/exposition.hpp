@@ -1,8 +1,14 @@
 #pragma once
-// Prometheus text-format exposition of the metrics registry.
+// Prometheus exposition of the metrics registry.
 //
 // Renders a Registry snapshot in the Prometheus text exposition format
-// (version 0.0.4, the format every Prometheus server scrapes):
+// (version 0.0.4, the format every Prometheus server scrapes), or —
+// when PrometheusOptions::openmetrics is set — in OpenMetrics 1.0,
+// which additionally carries histogram exemplars and the `# EOF`
+// terminator. The two differ at the syntax level (a 0.0.4 parser
+// rejects exemplar suffixes outright), so endpoints must pick per
+// scraper via Accept-header negotiation (acceptsOpenMetrics()), never
+// serve OpenMetrics syntax under the 0.0.4 content type. Shared shape:
 //   - counters become `<prefix><name>_total` with `# TYPE ... counter`,
 //   - gauges become `<prefix><name>` with `# TYPE ... gauge`,
 //   - histograms become the `_bucket{le="..."}` / `_sum` / `_count`
@@ -39,13 +45,35 @@ struct PrometheusOptions {
   /// Histogram bucket upper bounds (sorted ascending; +Inf is implicit).
   /// Empty selects defaultBuckets().
   std::vector<double> buckets;
-  /// Appends OpenMetrics exemplars (` # {event_id="N"} value ts`) to
-  /// histogram bucket lines when the histogram recorded any: each bucket
-  /// carries the most recent exemplar falling inside it, linking a
-  /// latency bucket to its flight-recorder event window. Strict 0.0.4
-  /// parsers that reject exemplar syntax can turn this off.
+  /// Renders the OpenMetrics 1.0 exposition instead of text format
+  /// 0.0.4: counter TYPE/HELP lines name the family without the
+  /// `_total` suffix (samples keep it), the document ends with the
+  /// mandatory `# EOF` terminator, and histogram bucket lines may carry
+  /// exemplars. Serve it as kOpenMetricsContentType — and only to
+  /// scrapers that negotiated it via Accept (see acceptsOpenMetrics()):
+  /// the classic 0.0.4 parser rejects both exemplars and `# EOF`.
+  bool openmetrics = false;
+  /// Appends exemplars (` # {event_id="N"} value ts`) to histogram
+  /// bucket lines when the histogram recorded any: each bucket carries
+  /// the most recent exemplar falling inside it, linking a latency
+  /// bucket to its flight-recorder event window. Exemplar syntax exists
+  /// only in OpenMetrics, so this takes effect solely when `openmetrics`
+  /// is also set — a 0.0.4 document never contains exemplars.
   bool exemplars = true;
 };
+
+/// Content-Type values for the two supported expositions.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+inline constexpr const char* kOpenMetricsContentType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// True when an HTTP Accept header value asks for the OpenMetrics
+/// exposition (contains the `application/openmetrics-text` media type,
+/// the way a Prometheus scraper negotiates it). Deliberately a substring
+/// check, not a full q-value parser: a scraper that lists the type at
+/// all can parse it.
+bool acceptsOpenMetrics(std::string_view accept_header);
 
 /// The default histogram bucket bounds: a 1-2.5-5 decade ladder wide
 /// enough for both row counts (resync latency) and millisecond timings.

@@ -1,7 +1,11 @@
 #include "obs/flight_recorder.hpp"
 
+#include <unistd.h>
+
 #include <csignal>
+#include <cstdio>
 #include <algorithm>
+#include <fstream>
 #include <ostream>
 
 #include "obs/obs.hpp"
@@ -13,13 +17,16 @@ namespace {
 /// Thread binding for session ids: FlightRecorder::setThreadSession.
 thread_local std::uint64_t t_session = 0;
 
-/// Per-thread cached ring pointer. Rings are owned by the recorder and
-/// never destroyed before process exit (the global recorder leaks by
-/// design, like the logger), so the cache cannot dangle. A configure()
-/// bump invalidates caches via the generation counter.
+/// Per-thread cached ring pointer, validated by the owning recorder's
+/// never-reused instance id: a hit can only resolve against the live
+/// recorder that created the ring, so the cache cannot dangle even when
+/// a test recorder is destroyed and another allocated at the same
+/// address. On a miss the recorder's thread-id map hands the thread its
+/// existing ring back, so neither cache invalidation nor configure()
+/// ever grows the ring set for a thread that already has one.
 thread_local void* t_ring = nullptr;
-thread_local std::uint64_t t_ring_generation = 0;
-std::atomic<std::uint64_t> g_generation{1};
+thread_local std::uint64_t t_ring_instance = 0;
+std::atomic<std::uint64_t> g_next_instance_id{1};
 
 }  // namespace
 
@@ -37,19 +44,21 @@ const char* flightEventKindName(FlightEventKind kind) {
   return "unknown";
 }
 
-FlightRecorder::FlightRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+FlightRecorder::FlightRecorder()
+    : instance_id_(g_next_instance_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
 
 void FlightRecorder::configure(std::size_t per_thread_capacity) {
   std::lock_guard<std::mutex> lock(mutex_);
   capacity_ = per_thread_capacity;
-  // Existing rings are resized in place (clearing their history) and all
-  // thread-local caches invalidated so threads re-resolve their ring.
+  // Existing rings are resized in place (clearing their history) and
+  // keep their thread bindings — cached ring pointers stay valid, so
+  // reconfiguring never grows the ring set.
   for (auto& ring : rings_) {
     std::lock_guard<std::mutex> ring_lock(ring->mutex);
     ring->slots.assign(capacity_, FlightEvent{});
     ring->total = 0;
   }
-  g_generation.fetch_add(1, std::memory_order_relaxed);
   if (capacity_ == 0) enabled_.store(false, std::memory_order_relaxed);
 }
 
@@ -91,18 +100,20 @@ std::uint64_t FlightRecorder::nowUs() const {
 }
 
 FlightRecorder::Ring& FlightRecorder::threadRing() {
-  const std::uint64_t generation = g_generation.load(std::memory_order_relaxed);
-  if (t_ring != nullptr && t_ring_generation == generation) {
+  if (t_ring != nullptr && t_ring_instance == instance_id_) {
     return *static_cast<Ring*>(t_ring);
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  auto ring = std::make_unique<Ring>();
-  ring->slots.assign(capacity_, FlightEvent{});
-  Ring* raw = ring.get();
-  rings_.push_back(std::move(ring));
-  t_ring = raw;
-  t_ring_generation = generation;
-  return *raw;
+  Ring*& slot = ring_by_thread_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    auto ring = std::make_unique<Ring>();
+    ring->slots.assign(capacity_, FlightEvent{});
+    slot = ring.get();
+    rings_.push_back(std::move(ring));
+  }
+  t_ring = slot;
+  t_ring_instance = instance_id_;
+  return *slot;
 }
 
 std::uint64_t FlightRecorder::record(FlightEvent& event) {
@@ -128,6 +139,19 @@ std::uint64_t FlightRecorder::record(FlightEvent& event) {
   return event.id;
 }
 
+void FlightRecorder::collectRingLocked(const Ring& ring, std::uint64_t session,
+                                       std::vector<FlightEvent>& out) {
+  const std::size_t live =
+      std::min<std::uint64_t>(ring.total, ring.slots.size());
+  const std::size_t size = ring.slots.size();
+  for (std::size_t i = 0; i < live; ++i) {
+    const FlightEvent& e = ring.slots[(ring.total - live + i) % size];
+    if (e.id == 0) continue;
+    if (session != 0 && e.session != session) continue;
+    out.push_back(e);
+  }
+}
+
 std::vector<FlightEvent> FlightRecorder::snapshot(std::uint64_t session,
                                                   std::size_t max_events) const {
   std::vector<FlightEvent> merged;
@@ -135,15 +159,7 @@ std::vector<FlightEvent> FlightRecorder::snapshot(std::uint64_t session,
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& ring : rings_) {
       std::lock_guard<std::mutex> ring_lock(ring->mutex);
-      const std::size_t live =
-          std::min<std::uint64_t>(ring->total, ring->slots.size());
-      const std::size_t size = ring->slots.size();
-      for (std::size_t i = 0; i < live; ++i) {
-        const FlightEvent& e = ring->slots[(ring->total - live + i) % size];
-        if (e.id == 0) continue;
-        if (session != 0 && e.session != session) continue;
-        merged.push_back(e);
-      }
+      collectRingLocked(*ring, session, merged);
     }
   }
   std::sort(merged.begin(), merged.end(),
@@ -155,6 +171,11 @@ std::vector<FlightEvent> FlightRecorder::snapshot(std::uint64_t session,
                  merged.end() - static_cast<std::ptrdiff_t>(max_events));
   }
   return merged;
+}
+
+std::size_t FlightRecorder::ringCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rings_.size();
 }
 
 bool FlightRecorder::hasSession(std::uint64_t session) const {
@@ -176,7 +197,12 @@ bool FlightRecorder::hasSession(std::uint64_t session) const {
 void FlightRecorder::writeJson(std::ostream& os, std::string_view reason,
                                std::uint64_t session,
                                std::size_t max_events) const {
-  const std::vector<FlightEvent> events = snapshot(session, max_events);
+  writeJsonEvents(os, reason, snapshot(session, max_events));
+}
+
+void FlightRecorder::writeJsonEvents(
+    std::ostream& os, std::string_view reason,
+    const std::vector<FlightEvent>& events) const {
   os << "{\n  \"schema\": \"psmgen.events.v1\",\n  \"reason\": \"" << reason
      << "\",\n  \"last_event_id\": " << lastEventId()
      << ",\n  \"dropped\": " << droppedEvents() << ",\n  \"events\": [";
@@ -234,6 +260,52 @@ std::string FlightRecorder::triggerDump(std::string_view reason,
   return path;
 }
 
+std::string FlightRecorder::triggerDumpFromSignal(std::string_view reason) {
+  if (!enabled()) return "";
+  // The crashing thread may hold any recorder lock (crash during a
+  // snapshot, abort out of record()); everything here is try_lock with
+  // bail-out so the handler can always reach its SIG_DFL re-raise. No
+  // rate limit: a fatal signal is the one dump that must not be skipped.
+  std::vector<FlightEvent> merged;
+  std::string dir;
+  {
+    std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+    if (!lock.owns_lock()) return "";
+    if (dump_dir_.empty()) return "";
+    dir = dump_dir_;
+    for (const auto& ring : rings_) {
+      std::unique_lock<std::mutex> ring_lock(ring->mutex, std::try_to_lock);
+      if (!ring_lock.owns_lock()) continue;  // held by the crasher: skip
+      collectRingLocked(*ring, /*session=*/0, merged);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.id < b.id;
+            });
+  const std::uint64_t seq = dump_seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = dir + "/psmgen-flight-" + std::string(reason) +
+                           "-" + std::to_string(seq) + ".json";
+  // Same tmp+rename shape as writeFileAtomic, inlined without its
+  // error logging: the logger mutex may be held by the crashing thread.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) return "";
+    writeJsonEvents(os, reason, merged);
+    os.flush();
+    if (!os) {
+      std::remove(tmp.c_str());
+      return "";
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return "";
+  }
+  return path;
+}
+
 void FlightRecorder::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& ring : rings_) {
@@ -266,9 +338,17 @@ std::atomic<bool> g_in_fatal_dump{false};
 
 void fatalSignalHandler(int signo) {
   // Best effort, explicitly not async-signal-safe (see header). The
-  // recursion guard keeps a crash inside the dump from looping.
+  // recursion guard keeps a crash inside the dump from looping. The
+  // dump path itself never takes a blocking recorder lock, but it can
+  // still wedge on a lock outside the recorder the crashing thread
+  // holds (malloc, a stream buffer) — the alarm watchdog guarantees the
+  // process dies within 5s in that case instead of hanging forever
+  // under a supervisor that is waiting to restart it.
   if (!g_in_fatal_dump.exchange(true)) {
-    flightRecorder().triggerDump("fatal_signal");
+    std::signal(SIGALRM, SIG_DFL);
+    ::alarm(5);
+    flightRecorder().triggerDumpFromSignal("fatal_signal");
+    ::alarm(0);
   }
   std::signal(signo, SIG_DFL);
   std::raise(signo);

@@ -13,8 +13,9 @@
 // (PAPERS.md) applied to the server's own execution instead of the
 // device's.
 //
-// Dump triggers (all routed through the shared atomic tmp+rename helper
-// in obs.hpp, so a crash mid-dump never leaves a torn file):
+// Dump triggers (all writing via the atomic tmp+rename shape of the
+// obs.hpp helper — the fatal-signal path inlines it lock-free — so a
+// crash mid-dump never leaves a torn file):
 //   - on demand: the `/debug/events` route renders a snapshot, and
 //     dump() writes one to a path of the caller's choice;
 //   - automatic: triggerDump() fires on a session protocol error, on a
@@ -45,6 +46,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace psmgen::obs {
@@ -94,8 +97,10 @@ class FlightRecorder {
   FlightRecorder(const FlightRecorder&) = delete;
   FlightRecorder& operator=(const FlightRecorder&) = delete;
 
-  /// Per-thread ring capacity in events. Existing rings are resized (and
-  /// cleared); call before enabling. Capacity 0 disables the recorder.
+  /// Per-thread ring capacity in events. Existing rings are resized in
+  /// place (clearing their history) and stay bound to their threads, so
+  /// repeated configure() never grows the ring set; call before
+  /// enabling. Capacity 0 disables the recorder.
   void configure(std::size_t per_thread_capacity);
   std::size_t capacity() const;
 
@@ -122,7 +127,10 @@ class FlightRecorder {
     return last_id_.load(std::memory_order_relaxed);
   }
 
-  /// Events overwritten before ever being snapshotted or dumped.
+  /// Events overwritten by ring wraparound — the designed steady-state
+  /// once a ring is full, so this measures how far back the retained
+  /// window reaches, not data loss (an overwritten event may well have
+  /// been snapshotted or dumped first).
   std::uint64_t droppedEvents() const {
     return dropped_.load(std::memory_order_relaxed);
   }
@@ -157,12 +165,28 @@ class FlightRecorder {
   /// dump dir is set, or the write failed.
   std::string triggerDump(std::string_view reason, std::uint64_t session = 0);
 
+  /// Fatal-signal variant of triggerDump(): same file naming, but the
+  /// path never blocks on a lock — the recorder and ring mutexes are
+  /// taken with try_lock (a ring the crashing thread holds is skipped,
+  /// its events simply missing from the dump), and neither the logger
+  /// nor the metrics registry is touched, so the handler cannot
+  /// deadlock on a lock the crashing thread already owns. Still not
+  /// async-signal-safe (the stream allocates); the caller must arm a
+  /// watchdog. Returns "" when disabled, no dump dir is set, the
+  /// recorder mutex was held, or the write failed.
+  std::string triggerDumpFromSignal(std::string_view reason);
+
   /// Drops every recorded event, keeping rings and enablement (tests).
   void clear();
 
   /// Test hook: replaces the event clock (microseconds, monotone);
   /// nullptr restores steady_clock. Makes golden dumps deterministic.
   void setClockForTest(std::uint64_t (*now_us)());
+
+  /// Number of rings currently owned (one per thread that ever
+  /// recorded into this recorder). Introspection for tests asserting
+  /// that reconfiguration reuses rings instead of growing the set.
+  std::size_t ringCount() const;
 
  private:
   /// One thread's ring. `total` counts appends forever; the live slots
@@ -175,6 +199,13 @@ class FlightRecorder {
 
   Ring& threadRing();
   std::uint64_t nowUs() const;
+  /// Appends `ring`'s live events (optionally filtered to `session`)
+  /// onto `out`. Caller holds ring.mutex.
+  static void collectRingLocked(const Ring& ring, std::uint64_t session,
+                                std::vector<FlightEvent>& out);
+  /// Renders pre-collected, id-sorted events as "psmgen.events.v1".
+  void writeJsonEvents(std::ostream& os, std::string_view reason,
+                       const std::vector<FlightEvent>& events) const;
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> next_id_{1};
@@ -182,8 +213,19 @@ class FlightRecorder {
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> dump_seq_{0};
 
-  mutable std::mutex mutex_;  ///< guards rings_, capacity_, dump_dir_, clock_
+  /// Process-unique (never-reused) id of this recorder instance;
+  /// validates the per-thread ring pointer cache, so a cache entry can
+  /// never resolve against a different (or recreated) recorder.
+  const std::uint64_t instance_id_;
+
+  mutable std::mutex mutex_;  ///< guards rings_, ring_by_thread_,
+                              ///< capacity_, dump_dir_, clock_
   std::vector<std::unique_ptr<Ring>> rings_;
+  /// Each thread's ring, so a thread whose cache was invalidated (it
+  /// recorded into another recorder in between) finds its existing ring
+  /// back instead of appending a fresh one. Rings still outlive their
+  /// threads: entries are never erased.
+  std::unordered_map<std::thread::id, Ring*> ring_by_thread_;
   std::size_t capacity_ = 1024;
   std::string dump_dir_;
   std::uint64_t (*clock_)() = nullptr;
@@ -196,11 +238,14 @@ class FlightRecorder {
 FlightRecorder& flightRecorder();
 
 /// Installs SIGSEGV/SIGBUS/SIGFPE/SIGABRT handlers that best-effort
-/// triggerDump("fatal_signal") before re-raising the default action, so
-/// a crashing server leaves its last events behind. The dump path is not
-/// async-signal-safe (it allocates); after a fatal signal that is an
-/// acceptable gamble — the alternative is losing the history for sure.
-/// Idempotent. Returns false when sigaction() fails.
+/// dump the flight history before re-raising the default action, so a
+/// crashing server leaves its last events behind. The dump goes through
+/// triggerDumpFromSignal() — every recorder lock is try_lock, the
+/// logger/metrics are never touched — and runs under an alarm(2)
+/// watchdog, so even if it wedges on a non-recorder lock the crashing
+/// thread holds (malloc, a stream), SIGALRM's default action terminates
+/// the process: the gamble is only ever losing the dump, never hanging
+/// instead of dying. Idempotent. Returns false when sigaction() fails.
 bool installFatalSignalDump();
 
 }  // namespace psmgen::obs

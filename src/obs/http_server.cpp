@@ -36,6 +36,51 @@ bool sendAll(int fd, const char* data, std::size_t size) {
 
 }  // namespace
 
+namespace {
+
+std::string toLowerAscii(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+std::string trimWhitespace(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+/// Parses the `Name: value` lines between the request line and the
+/// blank line into `headers`. Malformed lines (no colon) are skipped —
+/// the debug surface has no reason to reject a whole request over one.
+void parseHeaderFields(
+    const std::string& head, std::size_t begin,
+    std::vector<std::pair<std::string, std::string>>& headers) {
+  while (begin < head.size()) {
+    const std::size_t line_end = head.find("\r\n", begin);
+    if (line_end == std::string::npos || line_end == begin) break;
+    const std::size_t colon = head.find(':', begin);
+    if (colon != std::string::npos && colon < line_end) {
+      headers.emplace_back(
+          toLowerAscii(trimWhitespace(head.substr(begin, colon - begin))),
+          trimWhitespace(head.substr(colon + 1, line_end - colon - 1)));
+    }
+    begin = line_end + 2;
+  }
+}
+
+}  // namespace
+
+std::string HttpServer::Request::header(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return "";
+}
+
 std::string HttpServer::Request::queryParam(const std::string& name) const {
   std::size_t pos = 0;
   while (pos < query.size()) {
@@ -218,6 +263,7 @@ void HttpServer::serveConnection(int fd) {
       request.query = request.path.substr(query + 1);
       request.path.resize(query);
     }
+    parseHeaderFields(head, line_end + 2, request.headers);
     path = request.path;
     if (method != "GET" && method != "HEAD") {
       response = {405, "text/plain; charset=utf-8", "method not allowed\n"};

@@ -25,6 +25,8 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace psmgen::obs {
 
@@ -35,17 +37,27 @@ class HttpServer {
     std::string content_type = "text/plain; charset=utf-8";
     std::string body;
   };
-  /// A parsed request line. Routing matches `path` exactly; the raw
+  /// A parsed request head. Routing matches `path` exactly; the raw
   /// query string (text after '?', if any) rides along for handlers
-  /// that take parameters, like `/debug/events?session=N`.
+  /// that take parameters, like `/debug/events?session=N`, and the
+  /// header fields for handlers that negotiate, like `/metrics` picking
+  /// the OpenMetrics exposition from `Accept`.
   struct Request {
     std::string path;
     std::string query;
+    /// Header fields in arrival order, names lowercased (field names
+    /// are case-insensitive per RFC 9110), values trimmed of
+    /// surrounding whitespace. Bounded by the request-head cap.
+    std::vector<std::pair<std::string, std::string>> headers;
 
     /// Value of `name` in the query string ("" when absent). Supports
     /// the `k=v&k2=v2` shape only — no percent-decoding, which none of
     /// the debug routes need.
     std::string queryParam(const std::string& name) const;
+
+    /// First value of header `name` ("" when absent). `name` must be
+    /// given in lowercase; lookup is case-insensitive to the wire.
+    std::string header(const std::string& name) const;
   };
   using Handler = std::function<Response(const Request& request)>;
 

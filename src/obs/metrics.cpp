@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -44,6 +45,14 @@ void Histogram::record(double v) {
   ++count_;
   sum_ += v;
   if (samples_.size() < kMaxSamples) samples_.push_back(v);
+}
+
+void Histogram::record(double v, std::uint64_t event_id) {
+  record(v, event_id,
+         static_cast<std::uint64_t>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::system_clock::now().time_since_epoch())
+                 .count()));
 }
 
 void Histogram::record(double v, std::uint64_t event_id, std::uint64_t ts_us) {

@@ -83,8 +83,10 @@ struct HistogramSnapshot {
 struct Exemplar {
   double value = 0.0;
   std::uint64_t event_id = 0;
-  /// Recorder timestamp (microseconds since recorder epoch) — rendered
-  /// as the exemplar's seconds field.
+  /// Unix wall-clock microseconds (system_clock) at record() time —
+  /// rendered as the exemplar's OpenMetrics seconds field, which
+  /// consumers compare against scrape time. Never a recorder-epoch /
+  /// steady_clock value: those read as 1970 and get dropped.
   std::uint64_t ts_us = 0;
 };
 
@@ -101,8 +103,14 @@ class Histogram {
   void record(double v);
 
   /// Records `v` and — when `event_id` is non-zero — attaches it as an
-  /// exemplar (value + event id + `ts_us`) so the Prometheus exposition
-  /// can link the sample's bucket to its flight-recorder window.
+  /// exemplar stamped with the current Unix wall-clock time, so the
+  /// OpenMetrics exposition can link the sample's bucket to its
+  /// flight-recorder window.
+  void record(double v, std::uint64_t event_id);
+
+  /// As above with an explicit exemplar timestamp (Unix wall-clock
+  /// microseconds). For tests needing deterministic exemplars; serving
+  /// code uses the self-stamping overload.
   void record(double v, std::uint64_t event_id, std::uint64_t ts_us);
 
   /// The buffered exemplar ring, oldest first.

@@ -208,7 +208,6 @@ bool Session::handleFrame(const Frame& frame, std::string& out) {
                                     std::chrono::steady_clock::now() - t0)
                                     .count();
       std::uint64_t event_id = 0;
-      std::uint64_t event_ts = 0;
       if (obs::flightRecorder().enabled()) {
         const runtime::DriftStatus drift = monitor_.status();
         if (drift == runtime::DriftStatus::Degraded) {
@@ -225,14 +224,16 @@ bool Session::handleFrame(const Frame& frame, std::string& out) {
         event.flags = frame_flags;
         event.latency_ms = static_cast<float>(latency_ms);
         event_id = obs::flightRecorder().record(event);
-        event_ts = event.ts_us;
         if (record_) {
           record_->last_event_id.store(event_id, std::memory_order_relaxed);
         }
       }
+      // The two-arg overload stamps the exemplar with Unix wall-clock
+      // time — the flight event's recorder-epoch ts_us would read as
+      // 1970 to OpenMetrics consumers.
       obs::metrics()
           .histogram("serve.frame_latency_ms")
-          .record(latency_ms, event_id, event_ts);
+          .record(latency_ms, event_id);
       if (record_) {
         record_->frames.fetch_add(1, std::memory_order_relaxed);
       }

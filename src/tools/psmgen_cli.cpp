@@ -883,13 +883,21 @@ int runServe(const Args& args) {
 
   obs::HttpServer server;
   const std::string model_label = args.psm;
-  server.handle("/metrics", [model_label](const obs::HttpServer::Request&) {
-    obs::PrometheusOptions options;
-    options.const_labels = {{"model", model_label}};
-    return obs::HttpServer::Response{
-        200, "text/plain; version=0.0.4; charset=utf-8",
-        obs::renderPrometheus(obs::metrics(), options)};
-  });
+  server.handle(
+      "/metrics", [model_label](const obs::HttpServer::Request& request) {
+        obs::PrometheusOptions options;
+        options.const_labels = {{"model", model_label}};
+        // Exemplars are OpenMetrics-only syntax, so the classic 0.0.4
+        // exposition stays exemplar-free; a scraper that negotiates
+        // OpenMetrics via Accept gets them (plus `# EOF`).
+        options.openmetrics =
+            obs::acceptsOpenMetrics(request.header("accept"));
+        return obs::HttpServer::Response{
+            200,
+            options.openmetrics ? obs::kOpenMetricsContentType
+                                : obs::kPrometheusContentType,
+            obs::renderPrometheus(obs::metrics(), options)};
+      });
   server.handle("/healthz", [](const obs::HttpServer::Request&) {
     return obs::HttpServer::Response{200, "text/plain; charset=utf-8",
                                      "ok\n"};

@@ -354,9 +354,10 @@ TEST(Exposition, GoldenScrape) {
   EXPECT_EQ(obs::renderPrometheus(registry, options), expected);
 }
 
-/// Exemplars: a histogram record carrying a flight-recorder event id
-/// attaches an OpenMetrics ` # {event_id="N"} value ts` suffix to the
-/// newest sample's bucket, and the toggle strips every exemplar.
+/// Exemplars: in the OpenMetrics exposition, a histogram record
+/// carrying a flight-recorder event id attaches an
+/// ` # {event_id="N"} value ts` suffix to the newest sample's bucket,
+/// and the toggle strips every exemplar.
 TEST(Exposition, ExemplarsAttachToTheMatchingBucket) {
   obs::Registry registry;
   registry.setEnabled(true);
@@ -366,27 +367,80 @@ TEST(Exposition, ExemplarsAttachToTheMatchingBucket) {
   h.record(100.0, /*event_id=*/11, /*ts_us=*/2'250'000);
   h.record(0.25);  // no event id: contributes to counts, not exemplars
   obs::PrometheusOptions options;
+  options.openmetrics = true;
   options.buckets = {1.0, 10.0};
   const std::string text = obs::renderPrometheus(registry, options);
   EXPECT_NE(
       text.find("psmgen_lat_rows_bucket{le=\"1\"} 2 # {event_id=\"7\"} "
-                "0.5 1.5\n"),
+                "0.5 1.500\n"),
       std::string::npos)
       << text;
   EXPECT_NE(
       text.find("psmgen_lat_rows_bucket{le=\"10\"} 3 # {event_id=\"9\"} "
-                "8 2\n"),
+                "8 2.000\n"),
       std::string::npos)
       << text;
   EXPECT_NE(
       text.find("psmgen_lat_rows_bucket{le=\"+Inf\"} 4 # {event_id=\"11\"} "
-                "100 2.25\n"),
+                "100 2.250\n"),
       std::string::npos)
       << text;
 
   options.exemplars = false;
   const std::string plain = obs::renderPrometheus(registry, options);
   EXPECT_EQ(plain.find(" # {"), std::string::npos) << plain;
+}
+
+/// The classic 0.0.4 exposition must never contain exemplar syntax —
+/// standard Prometheus scrapers reject the whole document on the first
+/// exemplar suffix — regardless of the exemplars toggle.
+TEST(Exposition, ClassicExpositionNeverRendersExemplars) {
+  obs::Registry registry;
+  registry.setEnabled(true);
+  registry.histogram("lat.rows").record(0.5, /*event_id=*/7,
+                                        /*ts_us=*/1'500'000);
+  obs::PrometheusOptions options;  // openmetrics defaults to false
+  options.exemplars = true;
+  const std::string text = obs::renderPrometheus(registry, options);
+  EXPECT_EQ(text.find(" # {"), std::string::npos) << text;
+  EXPECT_EQ(text.find("# EOF"), std::string::npos) << text;
+  PromDoc doc;
+  ASSERT_TRUE(parsePrometheus(text, &doc)) << text;
+}
+
+/// OpenMetrics mode: counter TYPE/HELP lines name the family without
+/// the `_total` suffix (the sample keeps it, per the OM counter
+/// grammar) and the document ends with the mandatory `# EOF`.
+TEST(Exposition, OpenMetricsNamesCounterFamiliesAndTerminates) {
+  obs::Registry registry;
+  registry.setEnabled(true);
+  registry.counter("predict.rows").add(3);
+  obs::PrometheusOptions options;
+  options.openmetrics = true;
+  const std::string text = obs::renderPrometheus(registry, options);
+  EXPECT_NE(text.find("# TYPE psmgen_predict_rows counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("# TYPE psmgen_predict_rows_total"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("psmgen_predict_rows_total 3\n"), std::string::npos)
+      << text;
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n") << text;
+
+  // An empty registry still renders a terminated OpenMetrics document.
+  obs::Registry empty;
+  EXPECT_EQ(obs::renderPrometheus(empty, options), "# EOF\n");
+}
+
+TEST(Exposition, AcceptsOpenMetricsMatchesTheScraperHeader) {
+  EXPECT_TRUE(obs::acceptsOpenMetrics(
+      "application/openmetrics-text;version=1.0.0;q=0.75,text/plain;"
+      "version=0.0.4;q=0.5"));
+  EXPECT_TRUE(obs::acceptsOpenMetrics("application/openmetrics-text"));
+  EXPECT_FALSE(obs::acceptsOpenMetrics("text/plain; version=0.0.4"));
+  EXPECT_FALSE(obs::acceptsOpenMetrics("*/*"));
+  EXPECT_FALSE(obs::acceptsOpenMetrics(""));
 }
 
 /// The exemplar ring is bounded: only the newest kMaxExemplars survive.

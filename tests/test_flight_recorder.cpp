@@ -39,9 +39,10 @@ FlightEvent mark(std::uint64_t session = 0, std::uint64_t row = 0) {
   return event;
 }
 
-/// A fresh recorder per test. configure() bumps the global thread-ring
-/// generation, so each test's records resolve against its own instance
-/// even though the cache is thread-local.
+/// A fresh recorder per test. The thread-local ring cache is validated
+/// by the owning recorder's never-reused instance id, so each test's
+/// records resolve against its own instance even though the cache is
+/// shared across instances.
 class FlightRecorderTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -158,6 +159,23 @@ TEST_F(FlightRecorderTest, ConfigureZeroDisablesRecording) {
   EXPECT_FALSE(recorder_.enabled());
   FlightEvent event = mark();
   EXPECT_EQ(recorder_.record(event), 0u);
+}
+
+TEST_F(FlightRecorderTest, ReconfigureReusesTheThreadRingInsteadOfGrowing) {
+  FlightEvent before = mark(/*session=*/1);
+  recorder_.record(before);
+  EXPECT_EQ(recorder_.ringCount(), 1u);
+  // Repeated configure() must resize this thread's existing ring in
+  // place, not append a fresh one per call (the old regression left the
+  // cleared rings behind forever, walked by every later snapshot).
+  for (int i = 0; i < 5; ++i) recorder_.configure(16);
+  FlightEvent after = mark(/*session=*/1);
+  recorder_.record(after);
+  EXPECT_EQ(recorder_.ringCount(), 1u);
+  // The reconfigured ring holds only the post-configure event.
+  const std::vector<FlightEvent> events = recorder_.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].id, after.id);
 }
 
 TEST_F(FlightRecorderTest, ConcurrentWritersAndSnapshotsStayConsistent) {
@@ -277,6 +295,55 @@ TEST_F(FlightRecorderTest, TriggerDumpNamesFilesAndRateLimits) {
   recorder_.setEnabled(false);
   g_fake_now_us.store(9'000'000, std::memory_order_relaxed);
   EXPECT_EQ(recorder_.triggerDump("drift", 9), "");
+}
+
+TEST_F(FlightRecorderTest, TriggerDumpFromSignalWritesAValidDump) {
+  const std::string dir = ::testing::TempDir() + "psmgen_flight_signal_test";
+  ::mkdir(dir.c_str(), 0755);  // EEXIST from a previous run is fine
+  std::remove((dir + "/psmgen-flight-fatal_signal-0.json").c_str());
+
+  // No dump dir: bails out empty, like triggerDump().
+  EXPECT_EQ(recorder_.triggerDumpFromSignal("fatal_signal"), "");
+
+  recorder_.setDumpDir(dir);
+  FlightEvent event = mark(/*session=*/4, /*row=*/12);
+  recorder_.record(event);
+  const std::string path = recorder_.triggerDumpFromSignal("fatal_signal");
+  EXPECT_EQ(path, dir + "/psmgen-flight-fatal_signal-0.json");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "dump file must exist";
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"psmgen.events.v1\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"reason\": \"fatal_signal\""),
+            std::string::npos);
+  EXPECT_NE(content.str().find("\"session\": 4"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, TriggerDumpFromSignalTerminatesUnderContention) {
+  // The ring/recorder mutexes are private, so the held-lock bail-out
+  // cannot be staged directly; instead hammer the dump path while
+  // writers keep every ring mutex hot. try_lock either wins or skips —
+  // the test's assertion is simply that every call returns (a blocking
+  // lock on this path is what turned a crash into a hang).
+  const std::string dir = ::testing::TempDir() + "psmgen_flight_signal_race";
+  ::mkdir(dir.c_str(), 0755);
+  recorder_.setDumpDir(dir);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        FlightEvent event = mark(/*session=*/1);
+        recorder_.record(event);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    (void)recorder_.triggerDumpFromSignal("fatal_signal");
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
 }
 
 TEST_F(FlightRecorderTest, InstallFatalSignalDumpIsIdempotent) {

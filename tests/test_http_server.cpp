@@ -89,6 +89,12 @@ class HttpServerTest : public ::testing::Test {
                              request.query + "|" +
                                  request.queryParam("session") + "\n"};
                    });
+    server_.handle("/echo-accept",
+                   [](const Request& request) -> obs::HttpServer::Response {
+                     return {200, "text/plain; charset=utf-8",
+                             request.header("accept") + "|" +
+                                 request.header("x-missing") + "\n"};
+                   });
     server_.handle("/boom",
                    [](const Request&) -> obs::HttpServer::Response {
                      throw std::runtime_error("handler exploded");
@@ -116,6 +122,20 @@ TEST_F(HttpServerTest, ServesRegisteredRoute) {
 
 TEST_F(HttpServerTest, UnknownPathIs404) {
   EXPECT_EQ(statusOf(get(server_.port(), "/nope")), 404);
+}
+
+/// Header fields reach the handler with case-insensitive names and
+/// trimmed values — the surface /metrics uses to negotiate the
+/// OpenMetrics exposition from Accept.
+TEST_F(HttpServerTest, HeaderFieldsAreParsedCaseInsensitively) {
+  const std::string response = rawRequest(
+      server_.port(),
+      "GET /echo-accept HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "ACCEPT:   application/openmetrics-text;version=1.0.0  \r\n"
+      "Connection: close\r\n\r\n");
+  EXPECT_EQ(statusOf(response), 200);
+  EXPECT_EQ(bodyOf(response), "application/openmetrics-text;version=1.0.0|\n");
 }
 
 TEST_F(HttpServerTest, PostIs405WithAllowHeader) {
