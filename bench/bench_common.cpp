@@ -1,7 +1,10 @@
 #include "bench_common.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+
+#include "obs/profiler.hpp"
 
 namespace psmgen::bench {
 
@@ -100,5 +103,29 @@ obs::Options obsArgs(int argc, char** argv, bool force_metrics) {
   obs::configure(opts);
   return opts;
 }
+
+ProfileScope::ProfileScope(int argc, char** argv) {
+  double hz = 97.0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile-out") == 0) {
+      out_ = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--profile-hz") == 0) {
+      const double v = std::atof(argv[i + 1]);
+      if (v >= 1.0 && v <= 1000.0) hz = v;
+    }
+  }
+  if (out_.empty()) return;
+  obs::ProfilerConfig config;
+  config.hz = hz;
+  active_ = obs::profiler().start(config);
+}
+
+bool ProfileScope::finish() {
+  if (!active_) return true;
+  active_ = false;
+  return obs::writeProfile(out_, obs::profiler().stop());
+}
+
+ProfileScope::~ProfileScope() { finish(); }
 
 }  // namespace psmgen::bench

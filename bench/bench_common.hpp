@@ -69,4 +69,33 @@ unsigned threadsArg(int argc, char** argv, unsigned fallback);
 /// applied options; call obs::flushOutputs() before exiting.
 obs::Options obsArgs(int argc, char** argv, bool force_metrics = false);
 
+/// Whole-run CPU profiling for a bench binary: parses --profile-out F /
+/// --profile-hz N (same contract as the CLI flags) and, when a path was
+/// given, arms the sampling profiler for the scope's lifetime; the
+/// destructor stops the capture and writes the psmgen.profile.v1 JSON
+/// atomically. Declare one at the top of main(), after obsArgs():
+///
+///   bench::ProfileScope profile(argc, argv);
+///
+/// A scope without --profile-out is a no-op.
+class ProfileScope {
+ public:
+  ProfileScope(int argc, char** argv);
+  ~ProfileScope();
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  bool active() const { return active_; }
+
+  /// Stops the capture and writes the dump now (idempotent; the
+  /// destructor then does nothing). Call before measuring teardown-free
+  /// throughput when the scope must not cover process exit.
+  bool finish();
+
+ private:
+  std::string out_;
+  bool active_ = false;
+};
+
 }  // namespace psmgen::bench

@@ -41,6 +41,8 @@ PaperRow paperRow(psmgen::ip::IpKind kind) {
 int main(int argc, char** argv) {
   using namespace psmgen;
   const std::size_t calib_cycles = bench::cyclesArg(argc, argv, 20000);
+  bench::obsArgs(argc, argv);
+  bench::ProfileScope profile(argc, argv);
 
   std::printf("== Table I: characteristics of benchmarks ==\n");
   std::printf("(calibration surrogate: %zu-cycle gate-level power "

@@ -187,6 +187,7 @@ int main(int argc, char** argv) {
   const std::size_t long_cycles = bench::cyclesArg(argc, argv, 500000);
   const unsigned threads = bench::threadsArg(argc, argv, 1);
   bench::obsArgs(argc, argv);
+  bench::ProfileScope profile(argc, argv);
 
   std::printf("== Table II: characteristics of the generated PSMs ==\n");
   std::printf("(top block: short-TS / verification testsets; bottom block: "

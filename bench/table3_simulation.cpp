@@ -47,6 +47,8 @@ double seconds(const std::chrono::steady_clock::time_point& t0) {
 int main(int argc, char** argv) {
   using namespace psmgen;
   const std::size_t cycles = bench::cyclesArg(argc, argv, 500000);
+  bench::obsArgs(argc, argv);
+  bench::ProfileScope profile(argc, argv);
   std::printf("== Table III: simulation times and accuracy evaluation ==\n");
   std::printf("(short-TS PSMs stimulated with the long testset, %zu "
               "instants)\n\n", cycles);

@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
   // The registry is the result sink here, so it runs enabled even
   // without --metrics-out.
   bench::obsArgs(argc, argv, /*force_metrics=*/true);
+  bench::ProfileScope profile(argc, argv);
   const std::string dir = "/tmp";
 
   std::printf("[\n");

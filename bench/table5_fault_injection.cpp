@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   const std::size_t cycles = bench::cyclesArg(argc, argv, 40000);
   const std::size_t onset = cycles / 2;
   bench::obsArgs(argc, argv, /*force_metrics=*/true);
+  bench::ProfileScope profile(argc, argv);
 
   std::printf("[\n");
   bool first = true;

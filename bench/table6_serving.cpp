@@ -110,6 +110,7 @@ int main(int argc, char** argv) {
   const char* flight_dump_dir = stringArg(argc, argv, "--flight-dump-dir");
   const char* http_port_file = stringArg(argc, argv, "--http-port-file");
   bench::obsArgs(argc, argv, /*force_metrics=*/true);
+  bench::ProfileScope profile(argc, argv);
   obs::flightRecorder().configure(flight_events);
   obs::flightRecorder().setEnabled(flight_events > 0);
 

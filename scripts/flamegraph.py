@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Tooling for psmgen.profile.v1 CPU profiles (obs::Profiler dumps).
+
+Three modes, one input format (the JSON written by --profile-out or by
+obs::writeProfile):
+
+  --validate P [--require-frame SUBSTR]...
+      Schema-check the profile: required keys, sane counts, non-empty
+      folded stacks, per-stack frame lists. Each --require-frame SUBSTR
+      must match at least one frame across the stacks (used by CI to
+      assert the capture attributed samples to the predictor hot path
+      and the serve session loop). Exits non-zero with a reason on any
+      failure; prints a one-line summary on success.
+
+  --collapse P
+      Print the Brendan-Gregg collapsed-stack text form to stdout
+      (`frame;frame;frame count`), ready for flamegraph.pl or any other
+      folded-stack consumer.
+
+  --render P -o OUT.svg
+      Render a self-contained SVG flamegraph (no external assets or
+      scripts beyond inline JS for hover titles): widths proportional to
+      inclusive sample counts, root at the bottom.
+
+Only the standard library is used.
+"""
+
+import argparse
+import html
+import json
+import sys
+
+REQUIRED_KEYS = (
+    "schema", "hz", "duration_seconds", "samples", "dropped",
+    "overflowed", "truncated", "threads", "by_session", "stacks",
+)
+SCHEMA = "psmgen.profile.v1"
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def validate(profile, require_frames):
+    errors = []
+    for key in REQUIRED_KEYS:
+        if key not in profile:
+            errors.append(f"missing key: {key}")
+    if errors:
+        return errors
+    if profile["schema"] != SCHEMA:
+        errors.append(f"schema is {profile['schema']!r}, expected {SCHEMA!r}")
+    if not 1.0 <= profile["hz"] <= 1000.0:
+        errors.append(f"hz out of range: {profile['hz']}")
+    if profile["duration_seconds"] < 0:
+        errors.append("negative duration_seconds")
+    for counter in ("samples", "dropped", "overflowed", "truncated"):
+        if not isinstance(profile[counter], int) or profile[counter] < 0:
+            errors.append(f"{counter} is not a non-negative integer")
+    if profile["samples"] == 0:
+        errors.append("profile holds zero samples")
+    if not profile["stacks"]:
+        errors.append("profile holds no folded stacks")
+    stack_total = 0
+    for i, stack in enumerate(profile["stacks"]):
+        if not isinstance(stack.get("frames"), list) or not stack["frames"]:
+            errors.append(f"stacks[{i}] has no frames")
+            continue
+        if not all(isinstance(f, str) and f for f in stack["frames"]):
+            errors.append(f"stacks[{i}] has a non-string/empty frame")
+        if not isinstance(stack.get("count"), int) or stack["count"] < 1:
+            errors.append(f"stacks[{i}] has a non-positive count")
+            continue
+        stack_total += stack["count"]
+    # Folded counts can undershoot `samples` (stacks that were all
+    # trampoline frames are dropped) but never overshoot it.
+    if stack_total > profile["samples"]:
+        errors.append(
+            f"folded counts ({stack_total}) exceed samples "
+            f"({profile['samples']})")
+    for thread in profile["threads"]:
+        for key in ("index", "tid", "lane", "lane_name", "samples"):
+            if key not in thread:
+                errors.append(f"thread entry missing {key}")
+                break
+    for entry in profile["by_session"]:
+        for key in ("session", "samples"):
+            if key not in entry:
+                errors.append(f"by_session entry missing {key}")
+                break
+    for needle in require_frames:
+        if not any(needle in frame
+                   for stack in profile["stacks"]
+                   for frame in stack["frames"]):
+            errors.append(f"no frame contains required substring {needle!r}")
+    return errors
+
+
+def collapse(profile):
+    lines = []
+    for stack in profile["stacks"]:
+        lines.append(";".join(stack["frames"]) + f" {stack['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class Node:
+    __slots__ = ("name", "value", "children")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+        self.children = {}
+
+
+def build_tree(profile):
+    root = Node("all")
+    for stack in profile["stacks"]:
+        root.value += stack["count"]
+        node = root
+        for frame in stack["frames"]:
+            child = node.children.get(frame)
+            if child is None:
+                child = node.children[frame] = Node(frame)
+            child.value += stack["count"]
+            node = child
+    return root
+
+
+# A small warm palette keyed by a stable hash of the frame name, so the
+# same function gets the same color across captures.
+def color_of(name):
+    h = 0
+    for c in name:
+        h = (h * 131 + ord(c)) & 0xFFFFFFFF
+    r = 205 + h % 50
+    g = 80 + (h // 50) % 110
+    b = (h // 7919) % 55
+    return f"rgb({r},{g},{b})"
+
+
+def render_svg(profile, min_frac=0.001):
+    root = build_tree(profile)
+    depth_limit = 0
+
+    def measure(node, depth):
+        nonlocal depth_limit
+        depth_limit = max(depth_limit, depth)
+        for child in node.children.values():
+            measure(child, depth + 1)
+
+    measure(root, 0)
+    width = 1200
+    row_h = 16
+    height = (depth_limit + 1) * row_h + 40
+    total = max(root.value, 1)
+    rects = []
+
+    def emit(node, depth, x0, x1):
+        if (x1 - x0) / width < min_frac:
+            return
+        y = height - 24 - (depth + 1) * row_h
+        frac = 100.0 * node.value / total
+        title = html.escape(f"{node.name} — {node.value} samples "
+                            f"({frac:.2f}%)", quote=True)
+        label = node.name if (x1 - x0) > 8 + 6 * len(node.name) else (
+            node.name[: max(0, int((x1 - x0) / 7) - 1)])
+        rects.append(
+            f'<g><title>{title}</title>'
+            f'<rect x="{x0:.1f}" y="{y}" width="{x1 - x0:.1f}" '
+            f'height="{row_h - 1}" fill="{color_of(node.name)}" '
+            f'rx="1"/>'
+            + (f'<text x="{x0 + 3:.1f}" y="{y + row_h - 5}" '
+               f'font-size="11" font-family="monospace">'
+               f'{html.escape(label)}</text>' if label else "")
+            + "</g>")
+        x = x0
+        for child in sorted(node.children.values(), key=lambda n: -n.value):
+            w = (x1 - x0) * child.value / node.value
+            emit(child, depth + 1, x, x + w)
+            x += w
+
+    emit(root, 0, 0.0, float(width))
+    header = html.escape(
+        f"psmgen CPU profile — {profile['samples']} samples @ "
+        f"{profile['hz']:g} Hz over {profile['duration_seconds']:.1f}s")
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace">'
+        f'<rect width="100%" height="100%" fill="#fdf6e3"/>'
+        f'<text x="8" y="16" font-size="13">{header}</text>'
+        + "".join(rects) + "</svg>\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="validate / collapse / render psmgen.profile.v1 dumps")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--validate", metavar="PROFILE")
+    mode.add_argument("--collapse", metavar="PROFILE")
+    mode.add_argument("--render", metavar="PROFILE")
+    parser.add_argument("--require-frame", action="append", default=[],
+                        metavar="SUBSTR",
+                        help="with --validate: require a frame containing "
+                             "SUBSTR somewhere in the folded stacks "
+                             "(repeatable)")
+    parser.add_argument("-o", "--output", metavar="OUT.svg",
+                        help="with --render: output path (default stdout)")
+    args = parser.parse_args()
+
+    path = args.validate or args.collapse or args.render
+    try:
+        profile = load(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"flamegraph: cannot load {path}: {exc}", file=sys.stderr)
+        return 1
+
+    if args.validate:
+        errors = validate(profile, args.require_frame)
+        if errors:
+            for err in errors:
+                print(f"flamegraph: INVALID: {err}", file=sys.stderr)
+            return 1
+        print(f"flamegraph: OK: {profile['samples']} samples, "
+              f"{len(profile['stacks'])} stacks, "
+              f"{len(profile['threads'])} threads, "
+              f"{profile['hz']:g} Hz")
+        return 0
+
+    if args.collapse:
+        sys.stdout.write(collapse(profile))
+        return 0
+
+    svg = render_svg(profile)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(svg)
+        print(f"flamegraph: wrote {args.output}")
+    else:
+        sys.stdout.write(svg)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

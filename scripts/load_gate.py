@@ -32,15 +32,26 @@ always-on introspection that taxes serving more than that is a bug, not
 a feature. This comparison is same-machine same-moment, so the
 tolerance can be far tighter than the cross-machine baseline gate.
 
+A fifth, optional check pins the sampling profiler's cost the same way:
+with ``--profiler-on ON.json`` (a run with ``--profile-hz 97
+--profile-out ...``), the profiled run's throughput must stay within
+``--profiler-overhead-tolerance`` (default 2%) of the best unprofiled
+candidate — a 97 Hz sampler is one bounded stack walk per ~10ms of CPU
+time, and anything above 2% means the handler grew a hidden cost
+(allocation, symbolization, a lock) that does not belong there.
+
 Usage::
 
     scripts/load_gate.py --baseline BENCH_table6.json run1.json run2.json
     scripts/load_gate.py --baseline BENCH_table6.json --update run1.json
     scripts/load_gate.py --baseline BENCH_table6.json \
         --overhead-off off.json on1.json on2.json
+    scripts/load_gate.py --baseline BENCH_table6.json \
+        --profiler-on profiled.json plain1.json plain2.json
 
-PSMGEN_LOAD_TOLERANCE / PSMGEN_FLIGHT_OVERHEAD_TOLERANCE (fractions)
-override the default tolerances; the command-line flags win.
+PSMGEN_LOAD_TOLERANCE / PSMGEN_FLIGHT_OVERHEAD_TOLERANCE /
+PSMGEN_PROFILER_OVERHEAD_TOLERANCE (fractions) override the default
+tolerances; the command-line flags win.
 """
 
 import argparse
@@ -53,6 +64,7 @@ P99 = "bench.serve.frame_p99_ms"
 ZERO_METRICS = ("bench.serve.corrupted_frames", "bench.serve.errors")
 DEFAULT_TOLERANCE = 0.40
 DEFAULT_OVERHEAD_TOLERANCE = 0.05
+DEFAULT_PROFILER_OVERHEAD_TOLERANCE = 0.02
 
 
 def load_gauges(path):
@@ -88,6 +100,16 @@ def main():
                         help="allowed flight-recorder throughput cost "
                              f"(default {DEFAULT_OVERHEAD_TOLERANCE}, or "
                              "PSMGEN_FLIGHT_OVERHEAD_TOLERANCE)")
+    parser.add_argument("--profiler-on", default=None,
+                        help="profiled run (--profile-hz 97 --profile-out); "
+                             "must stay within "
+                             "--profiler-overhead-tolerance of the best "
+                             "unprofiled candidate's throughput")
+    parser.add_argument("--profiler-overhead-tolerance", type=float,
+                        default=None,
+                        help="allowed sampling-profiler throughput cost "
+                             f"(default {DEFAULT_PROFILER_OVERHEAD_TOLERANCE}"
+                             ", or PSMGEN_PROFILER_OVERHEAD_TOLERANCE)")
     args = parser.parse_args()
 
     tolerance = args.tolerance
@@ -164,6 +186,34 @@ def main():
                   f"{overhead_tolerance:.0%} of serving throughput "
                   f"(recorder-off {off_rps:.0f} rows/s, best recorder-on "
                   f"{best_rps:.0f} rows/s)")
+
+    if args.profiler_on is not None:
+        profiler_tolerance = args.profiler_overhead_tolerance
+        if profiler_tolerance is None:
+            profiler_tolerance = float(os.environ.get(
+                "PSMGEN_PROFILER_OVERHEAD_TOLERANCE",
+                DEFAULT_PROFILER_OVERHEAD_TOLERANCE))
+        if not 0.0 < profiler_tolerance < 1.0:
+            parser.error("profiler overhead tolerance must be in (0, 1), "
+                         f"got {profiler_tolerance}")
+        profiled = load_gauges(args.profiler_on)
+        for metric in ZERO_METRICS:
+            if float(profiled[metric]) != 0.0:
+                print(f"FAIL: {args.profiler_on}: {metric} = "
+                      f"{profiled[metric]} (must be exactly 0)")
+                failed = True
+        profiled_rps = float(profiled[THROUGHPUT])
+        profiled_ratio = profiled_rps / best_rps if best_rps > 0.0 else 1.0
+        profiled_ok = profiled_ratio >= 1.0 - profiler_tolerance
+        failed = failed or not profiled_ok
+        print(f"{'profiler overhead':<32} {best_rps:>14.0f} "
+              f"{profiled_rps:>14.0f} {profiled_ratio:>8.2f}  "
+              f"{'ok' if profiled_ok else 'REGRESSION'}")
+        if not profiled_ok:
+            print(f"FAIL: 97 Hz sampling costs more than "
+                  f"{profiler_tolerance:.0%} of serving throughput "
+                  f"(unprofiled best {best_rps:.0f} rows/s, profiled "
+                  f"{profiled_rps:.0f} rows/s)")
 
     if failed:
         print(f"FAIL: serving load degraded beyond {tolerance:.0%} of the "

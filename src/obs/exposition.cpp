@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <limits>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
 
@@ -147,9 +148,87 @@ std::string escapeLabelValue(std::string_view value) {
   return out;
 }
 
+namespace {
+
+std::string_view trimSpace(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool equalsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? a[i] + 32 : a[i];
+    const char cb = b[i] >= 'A' && b[i] <= 'Z' ? b[i] + 32 : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+/// The media range's quality weight: its `q` parameter clamped to
+/// [0, 1], defaulting to 1 when absent or unparsable.
+double mediaRangeQuality(std::string_view params) {
+  double q = 1.0;
+  while (!params.empty()) {
+    const std::size_t semi = params.find(';');
+    std::string_view param = trimSpace(
+        params.substr(0, semi == std::string_view::npos ? params.size()
+                                                        : semi));
+    params = semi == std::string_view::npos ? std::string_view{}
+                                            : params.substr(semi + 1);
+    if (param.size() < 2) continue;
+    if ((param[0] != 'q' && param[0] != 'Q') || param[1] != '=') continue;
+    const std::string value(param.substr(2));
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) continue;
+    q = parsed < 0.0 ? 0.0 : (parsed > 1.0 ? 1.0 : parsed);
+  }
+  return q;
+}
+
+}  // namespace
+
 bool acceptsOpenMetrics(std::string_view accept_header) {
-  return accept_header.find("application/openmetrics-text") !=
-         std::string_view::npos;
+  // Highest q among ranges naming OpenMetrics *exactly* vs. highest q
+  // among ranges the classic 0.0.4 format satisfies. Wildcards count
+  // only on the classic side: a client saying `*/*` is happy with
+  // either, and classic is the safer default for generic scrapers.
+  double openmetrics_q = -1.0;
+  double classic_q = -1.0;
+  std::string_view rest = accept_header;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view entry = rest.substr(
+        0, comma == std::string_view::npos ? rest.size() : comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t semi = entry.find(';');
+    const std::string_view type = trimSpace(
+        entry.substr(0, semi == std::string_view::npos ? entry.size()
+                                                       : semi));
+    const std::string_view params =
+        semi == std::string_view::npos ? std::string_view{}
+                                       : entry.substr(semi + 1);
+    if (type.empty()) continue;
+    const double q = mediaRangeQuality(params);
+    if (equalsIgnoreCase(type, "application/openmetrics-text")) {
+      if (q > openmetrics_q) openmetrics_q = q;
+    } else if (equalsIgnoreCase(type, "text/plain") ||
+               equalsIgnoreCase(type, "text/*") ||
+               equalsIgnoreCase(type, "*/*") ||
+               equalsIgnoreCase(type, "application/*")) {
+      if (q > classic_q) classic_q = q;
+    }
+  }
+  // OpenMetrics only when the client named it, with q > 0, at least as
+  // preferred as any range classic text satisfies.
+  return openmetrics_q > 0.0 && openmetrics_q >= classic_q;
 }
 
 void writePrometheus(std::ostream& os, const Registry& registry,

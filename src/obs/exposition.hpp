@@ -69,10 +69,13 @@ inline constexpr const char* kOpenMetricsContentType =
     "application/openmetrics-text; version=1.0.0; charset=utf-8";
 
 /// True when an HTTP Accept header value asks for the OpenMetrics
-/// exposition (contains the `application/openmetrics-text` media type,
-/// the way a Prometheus scraper negotiates it). Deliberately a substring
-/// check, not a full q-value parser: a scraper that lists the type at
-/// all can parse it.
+/// exposition: the client must name `application/openmetrics-text`
+/// exactly, with a q-value above zero and at least as high as any media
+/// range the classic 0.0.4 text format satisfies (`text/plain`,
+/// `text/*`, `*/*`, `application/*`). Wildcards alone never select
+/// OpenMetrics — `Accept: */*` stays classic, and
+/// `application/openmetrics-text;q=0, text/plain` is an explicit
+/// opt-out. Unparsable q parameters fall back to the RFC default of 1.
 bool acceptsOpenMetrics(std::string_view accept_header);
 
 /// The default histogram bucket bounds: a 1-2.5-5 decade ladder wide

@@ -40,6 +40,8 @@ const char* flightEventKindName(FlightEventKind kind) {
     case FlightEventKind::ProtocolError: return "protocol_error";
     case FlightEventKind::Drift: return "drift";
     case FlightEventKind::Mark: return "mark";
+    case FlightEventKind::ProfileStart: return "profile_start";
+    case FlightEventKind::ProfileStop: return "profile_stop";
   }
   return "unknown";
 }
@@ -363,10 +365,18 @@ bool installFatalSignalDump() {
     struct sigaction action {};
     action.sa_handler = &fatalSignalHandler;
     sigemptyset(&action.sa_mask);
+    // A profiling tick must never land inside the alarm-guarded dump on
+    // the dying thread (the SIGPROF handler reciprocates by masking the
+    // fatal signals and standing down while inFatalSignalDump()).
+    sigaddset(&action.sa_mask, SIGPROF);
     action.sa_flags = 0;
     if (sigaction(signo, &action, nullptr) != 0) ok = false;
   }
   return ok;
+}
+
+bool inFatalSignalDump() {
+  return g_in_fatal_dump.load(std::memory_order_acquire);
 }
 
 }  // namespace psmgen::obs

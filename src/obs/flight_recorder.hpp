@@ -61,6 +61,8 @@ enum class FlightEventKind : std::uint16_t {
   ProtocolError = 6, ///< session failed; detail = wire ErrorCode
   Drift = 7,         ///< QualityMonitor status change; detail = new status
   Mark = 8,          ///< free-form marker (tests, tooling)
+  ProfileStart = 9,  ///< CPU profile capture armed; detail = hz
+  ProfileStop = 10,  ///< CPU profile capture finished; detail = samples
 };
 
 const char* flightEventKindName(FlightEventKind kind);
@@ -246,6 +248,16 @@ FlightRecorder& flightRecorder();
 /// thread holds (malloc, a stream), SIGALRM's default action terminates
 /// the process: the gamble is only ever losing the dump, never hanging
 /// instead of dying. Idempotent. Returns false when sigaction() fails.
+/// SIGPROF is masked while the handler runs, so a sampling-profiler
+/// tick (obs::Profiler) can never interrupt the alarm-guarded dump on
+/// the dying thread; the profiler's handler reciprocates by masking the
+/// fatal signals and by bailing out while inFatalSignalDump() is true.
 bool installFatalSignalDump();
+
+/// True from the moment the fatal-signal dump handler takes its
+/// recursion guard until the process dies. Read by the SIGPROF sampler
+/// (on other threads — the dying thread has SIGPROF masked) to stand
+/// down during the dump.
+bool inFatalSignalDump();
 
 }  // namespace psmgen::obs

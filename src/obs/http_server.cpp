@@ -96,6 +96,19 @@ std::string HttpServer::Request::queryParam(const std::string& name) const {
   return "";
 }
 
+bool HttpServer::Request::hasQueryParam(const std::string& name) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    std::size_t eq = query.find('=', pos);
+    if (eq == std::string::npos || eq > amp) eq = amp;
+    if (query.compare(pos, eq - pos, name) == 0 && eq > pos) return true;
+    pos = amp + 1;
+  }
+  return false;
+}
+
 const char* HttpServer::reasonPhrase(int status) {
   switch (status) {
     case 200: return "OK";

@@ -55,6 +55,11 @@ class HttpServer {
     /// the debug routes need.
     std::string queryParam(const std::string& name) const;
 
+    /// True when `name` appears in the query string at all — the way a
+    /// validating route tells an absent parameter (use the default)
+    /// from an empty one (`?limit=`, a client error worth a 400).
+    bool hasQueryParam(const std::string& name) const;
+
     /// First value of header `name` ("" when absent). `name` must be
     /// given in lowercase; lookup is case-insensitive to the wire.
     std::string header(const std::string& name) const;

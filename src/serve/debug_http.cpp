@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "obs/flight_recorder.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_span.hpp"
 #include "runtime/quality_monitor.hpp"
 #include "serve/server.hpp"
 
@@ -36,9 +39,55 @@ void appendDouble(std::string& out, double v) {
   out += buf;
 }
 
+/// Parses `?limit=K` into `limit` (leaving it untouched when the
+/// parameter is absent). Returns false — and fills `error` with a 400
+/// body — on anything that is not an integer in [1, max].
+bool parseLimitParam(const obs::HttpServer::Request& request,
+                     std::size_t max, std::size_t& limit,
+                     std::string& error) {
+  if (!request.hasQueryParam("limit")) return true;
+  const std::string raw = request.queryParam("limit");
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0' || value < 1 || value > max) {
+    error = "limit must be an integer in [1, " + std::to_string(max) + "]\n";
+    return false;
+  }
+  limit = static_cast<std::size_t>(value);
+  return true;
+}
+
+/// Parses a query parameter as a number in [min, max]; absent keeps the
+/// default. Used by /debug/pprof/profile for `seconds` and `hz`.
+bool parseNumberParam(const obs::HttpServer::Request& request,
+                      const char* name, double min, double max,
+                      double& value, std::string& error) {
+  if (!request.hasQueryParam(name)) return true;
+  const std::string raw = request.queryParam(name);
+  char* end = nullptr;
+  const double parsed = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0' || !(parsed >= min) ||
+      !(parsed <= max)) {
+    error = std::string(name) + " must be a number in [" +
+            std::to_string(min) + ", " + std::to_string(max) + "]\n";
+    return false;
+  }
+  value = parsed;
+  return true;
+}
+
+std::string profilerLaneName(int lane) {
+  if (lane >= obs::kServeLaneBase) {
+    return "serve-session-" + std::to_string(lane - obs::kServeLaneBase);
+  }
+  if (lane > 0) return "pool-worker-" + std::to_string(lane);
+  return "main";
+}
+
 }  // namespace
 
-std::string renderSessionsJson(const PredictionServer& server) {
+std::string renderSessionsJson(const PredictionServer& server,
+                               std::size_t limit) {
   const auto records = server.sessions().snapshot();
   const auto now = std::chrono::steady_clock::now();
   std::string out;
@@ -48,12 +97,12 @@ std::string renderSessionsJson(const PredictionServer& server) {
   out += ",\n  \"total_opened\": ";
   out += std::to_string(server.sessions().totalOpened());
   out += ",\n  \"truncated\": ";
-  out += records.size() > kMaxSessionsRendered ? "true" : "false";
+  out += records.size() > limit ? "true" : "false";
   out += ",\n  \"sessions\": [";
   bool first = true;
   std::size_t rendered = 0;
   for (const auto& r : records) {
-    if (rendered++ >= kMaxSessionsRendered) break;
+    if (rendered++ >= limit) break;
     out += first ? "\n" : ",\n";
     first = false;
     out += "    {\"id\": " + std::to_string(r->id) + ", \"peer\": \"";
@@ -86,10 +135,9 @@ std::string renderSessionsJson(const PredictionServer& server) {
   return out;
 }
 
-std::string renderEventsJson(std::uint64_t session) {
+std::string renderEventsJson(std::uint64_t session, std::size_t limit) {
   std::ostringstream os;
-  obs::flightRecorder().writeJson(os, "on_demand", session,
-                                  kMaxEventsRendered);
+  obs::flightRecorder().writeJson(os, "on_demand", session, limit);
   return os.str();
 }
 
@@ -98,14 +146,19 @@ void registerDebugRoutes(obs::HttpServer& http, const PredictionServer* server,
   using Request = obs::HttpServer::Request;
   using Response = obs::HttpServer::Response;
 
-  http.handle("/debug/sessions", [server](const Request&) -> Response {
+  http.handle("/debug/sessions", [server](const Request& request) -> Response {
     if (server == nullptr) {
       return {404, "text/plain; charset=utf-8",
               "no live session registry (stdio mode serves one implicit "
               "stream; use /debug/events)\n"};
     }
+    std::size_t limit = kMaxSessionsRendered;
+    std::string error;
+    if (!parseLimitParam(request, kMaxSessionsRendered, limit, error)) {
+      return {400, "text/plain; charset=utf-8", error};
+    }
     return {200, "application/json; charset=utf-8",
-            renderSessionsJson(*server)};
+            renderSessionsJson(*server, limit)};
   });
 
   http.handle("/debug/events", [server](const Request& request) -> Response {
@@ -125,14 +178,70 @@ void registerDebugRoutes(obs::HttpServer& http, const PredictionServer* server,
                 "unknown session " + raw + "\n"};
       }
     }
+    std::size_t limit = kMaxEventsRendered;
+    std::string error;
+    if (!parseLimitParam(request, kMaxEventsRendered, limit, error)) {
+      return {400, "text/plain; charset=utf-8", error};
+    }
     return {200, "application/json; charset=utf-8",
-            renderEventsJson(session)};
+            renderEventsJson(session, limit)};
   });
 
   http.handle("/debug/build",
               [build_json = std::move(build_json)](const Request&) -> Response {
                 return {200, "application/json; charset=utf-8", build_json};
               });
+
+  http.handle("/debug/pprof/profile", [](const Request& request) -> Response {
+    double seconds = 2.0;
+    double hz = 97.0;
+    std::string error;
+    if (!parseNumberParam(request, "seconds", 1.0, 30.0, seconds, error) ||
+        !parseNumberParam(request, "hz", 1.0, 1000.0, hz, error)) {
+      return {400, "text/plain; charset=utf-8", error};
+    }
+    obs::ProfilerConfig config;
+    config.hz = hz;
+    if (!obs::profiler().start(config)) {
+      return {503, "text/plain; charset=utf-8",
+              "profiler busy: another capture owns the SIGPROF timer "
+              "(whole-run --profile-out, or a concurrent scrape)\n"};
+    }
+    // Blocks this scrape (and, the server being single-threaded, any
+    // concurrent one — they queue in the listen backlog) while the
+    // workload threads keep running and taking ticks.
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    const obs::ProfileReport report = obs::profiler().stop();
+    std::string body = obs::renderCollapsed(report);
+    if (body.empty()) {
+      body = "# no samples: process consumed no CPU time during the "
+             "capture window\n";
+    }
+    return {200, "text/plain; charset=utf-8", std::move(body)};
+  });
+
+  http.handle("/debug/pprof/threads", [](const Request&) -> Response {
+    const auto threads = obs::profiler().threadInventory();
+    std::string out;
+    out.reserve(128 + threads.size() * 96);
+    out += "{\n  \"schema\": \"psmgen.profile_threads.v1\",\n";
+    out += "  \"capturing\": ";
+    out += obs::profiler().running() ? "true" : "false";
+    out += ",\n  \"threads\": [";
+    bool first = true;
+    for (const auto& t : threads) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    {\"index\": " + std::to_string(t.index);
+      out += ", \"tid\": " + std::to_string(t.tid);
+      out += ", \"lane\": " + std::to_string(t.lane);
+      out += ", \"lane_name\": \"";
+      appendEscaped(out, profilerLaneName(t.lane));
+      out += "\", \"samples\": " + std::to_string(t.samples) + "}";
+    }
+    out += first ? "]\n}\n" : "\n  ]\n}\n";
+    return {200, "application/json; charset=utf-8", out};
+  });
 }
 
 }  // namespace psmgen::serve

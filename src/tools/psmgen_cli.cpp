@@ -51,6 +51,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/http_server.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "power/gate_estimator.hpp"
 #include "runtime/online_predictor.hpp"
 #include "runtime/quality_monitor.hpp"
@@ -150,7 +151,13 @@ int usage() {
       "--log-level error)\n"
       "  --metrics-out F    write the metrics registry as JSON to F\n"
       "  --trace-out F      write Chrome trace_event JSON to F "
-      "(chrome://tracing, Perfetto)\n");
+      "(chrome://tracing, Perfetto)\n"
+      "  --profile-out F    sample the whole run with the SIGPROF CPU\n"
+      "                     profiler and write psmgen.profile.v1 JSON "
+      "to F\n"
+      "                     (render: scripts/flamegraph.py)\n"
+      "  --profile-hz N     profiler sampling rate in Hz, 1..1000 "
+      "(default 97)\n");
   return 2;
 }
 
@@ -196,6 +203,9 @@ struct Args {
   std::string log_level;
   std::string metrics_out;
   std::string trace_out;
+  /// Whole-run CPU profile dump path; empty disables sampling.
+  std::string profile_out;
+  double profile_hz = 97.0;
   bool log_json = false;
   bool quiet = false;
 };
@@ -392,6 +402,17 @@ bool parse(int argc, char** argv, Args& args) {
       if (!value(args.metrics_out)) return false;
     } else if (flag == "--trace-out") {
       if (!value(args.trace_out)) return false;
+    } else if (flag == "--profile-out") {
+      if (!value(args.profile_out)) return false;
+    } else if (flag == "--profile-hz") {
+      std::string v;
+      if (!value(v)) return false;
+      args.profile_hz = std::atof(v.c_str());
+      if (args.profile_hz < 1.0 || args.profile_hz > 1000.0) {
+        obs::error("cli.bad_flag",
+                   {{"flag", flag}, {"why", "expects a rate in [1, 1000]"}});
+        return false;
+      }
     } else if (flag == "--log-json") {
       args.log_json = true;
     } else if (flag == "--quiet") {
@@ -994,12 +1015,27 @@ int main(int argc, char** argv) {
   Args args;
   if (!parse(argc, argv, args)) return usage();
   if (!configureObservability(args)) return usage();
+  // Whole-run profile: armed around dispatch so the capture covers the
+  // subcommand's real work (estimate/train/predict/serve), not flag
+  // parsing; the dump is atomic tmp+rename like --metrics-out.
+  const bool profiling = !args.profile_out.empty();
+  if (profiling) {
+    obs::ProfilerConfig config;
+    config.hz = args.profile_hz;
+    if (!obs::profiler().start(config)) return 1;
+  }
   int rc = 0;
   try {
     rc = dispatch(cmd, args);
   } catch (const std::exception& e) {
     obs::error("cli.error", {{"what", e.what()}});
     rc = 1;
+  }
+  if (profiling) {
+    // Dump even on failure — where a failed run burned its cycles is
+    // exactly what one debugs with.
+    const obs::ProfileReport report = obs::profiler().stop();
+    if (!obs::writeProfile(args.profile_out, report) && rc == 0) rc = 1;
   }
   // Flush the metrics/trace dumps even on failure — a failed run's
   // partial metrics are exactly what one debugs with.

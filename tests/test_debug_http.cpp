@@ -25,6 +25,7 @@
 #include "ip/ip_factory.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/http_server.hpp"
+#include "obs/profiler.hpp"
 #include "power/gate_estimator.hpp"
 #include "serialize/psm_artifact.hpp"
 #include "serve/client.hpp"
@@ -307,6 +308,129 @@ TEST_F(DebugHttpTest, MalformedFrameTriggersAFlightDumpWithTheSession) {
   EXPECT_NE(content.str().find("\"kind\": \"protocol_error\""),
             std::string::npos);
   EXPECT_GE(countOccurrences(content.str(), "\"session\": 1,"), 2u);
+}
+
+TEST_F(DebugHttpTest, LimitParameterCapsEventsAndSessions) {
+  for (int i = 0; i < 50; ++i) {
+    obs::FlightEvent event;
+    event.session = 1;
+    event.kind = static_cast<std::uint16_t>(obs::FlightEventKind::Mark);
+    obs::flightRecorder().record(event);
+  }
+  const std::string limited = get(http_.port(), "/debug/events?limit=5");
+  ASSERT_EQ(statusOf(limited), 200);
+  EXPECT_EQ(countOccurrences(bodyOf(limited), "{\"id\": "), 5u);
+  // The cap composes with the session filter.
+  const std::string filtered =
+      get(http_.port(), "/debug/events?session=1&limit=3");
+  ASSERT_EQ(statusOf(filtered), 200);
+  EXPECT_EQ(countOccurrences(bodyOf(filtered), "{\"id\": "), 3u);
+  // /debug/sessions accepts the same parameter (one live session here,
+  // so limit=1 still renders it and limit stays validated).
+  serve::Client client;
+  ASSERT_TRUE(client.connect(prediction_->port()));
+  client.hello("ram");
+  const std::string sessions = get(http_.port(), "/debug/sessions?limit=1");
+  ASSERT_EQ(statusOf(sessions), 200);
+  EXPECT_EQ(countOccurrences(bodyOf(sessions), "{\"id\": "), 1u);
+  client.finish();
+}
+
+TEST_F(DebugHttpTest, LimitParameterRejectsGarbage) {
+  for (const char* target :
+       {"/debug/events?limit=0", "/debug/events?limit=257",
+        "/debug/events?limit=-3", "/debug/events?limit=abc",
+        "/debug/events?limit=5x", "/debug/events?limit=",
+        "/debug/sessions?limit=0", "/debug/sessions?limit=banana",
+        "/debug/sessions?limit=99999999999999999999"}) {
+    const std::string response = get(http_.port(), target);
+    EXPECT_EQ(statusOf(response), 400) << target;
+    EXPECT_NE(bodyOf(response).find("limit"), std::string::npos) << target;
+  }
+  // The cap value itself is accepted on both routes.
+  EXPECT_EQ(statusOf(get(http_.port(), "/debug/events?limit=256")), 200);
+  EXPECT_EQ(statusOf(get(http_.port(), "/debug/sessions?limit=256")), 200);
+}
+
+// --------------------------------------------------- /debug/pprof routes
+
+TEST_F(DebugHttpTest, PprofProfileCapturesCollapsedStacksMidLoad) {
+  // Keep a session busy so the capture has cycles to attribute.
+  ServedModel& shared = servedModel();
+  std::atomic<bool> stop{false};
+  std::thread load([&] {
+    serve::Client client;
+    if (!client.connect(prediction_->port())) return;
+    client.hello("ram");
+    std::size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      client.predict({shared.rows[i % shared.rows.size()]});
+      ++i;
+    }
+    client.finish();
+  });
+
+  const std::string response =
+      get(http_.port(), "/debug/pprof/profile?seconds=1&hz=500");
+  stop.store(true);
+  load.join();
+  ASSERT_EQ(statusOf(response), 200);
+  const std::string body = bodyOf(response);
+  // Either real collapsed stacks (`frames... count`) or the explicit
+  // no-CPU-consumed marker; under load on any real machine, the former.
+  EXPECT_FALSE(body.empty());
+  if (body.rfind("# no samples", 0) == std::string::npos) {
+    EXPECT_NE(body.find(' '), std::string::npos);
+    EXPECT_NE(body.find('\n'), std::string::npos);
+  }
+}
+
+TEST_F(DebugHttpTest, PprofProfileValidatesItsParameters) {
+  for (const char* target :
+       {"/debug/pprof/profile?seconds=0", "/debug/pprof/profile?seconds=31",
+        "/debug/pprof/profile?seconds=abc", "/debug/pprof/profile?seconds=-1",
+        "/debug/pprof/profile?hz=0", "/debug/pprof/profile?hz=1001",
+        "/debug/pprof/profile?hz=x", "/debug/pprof/profile?seconds=1&hz=nan"}) {
+    EXPECT_EQ(statusOf(get(http_.port(), target)), 400) << target;
+  }
+}
+
+TEST_F(DebugHttpTest, PprofProfileAnswers503WhileACaptureOwnsTheTimer) {
+  // A whole-run capture (the CLI's --profile-out path) owns the one
+  // SIGPROF timer; the on-demand route must refuse, not hijack it.
+  ASSERT_TRUE(obs::profiler().start(obs::ProfilerConfig{}));
+  const std::string response =
+      get(http_.port(), "/debug/pprof/profile?seconds=1");
+  EXPECT_EQ(statusOf(response), 503);
+  EXPECT_NE(bodyOf(response).find("busy"), std::string::npos);
+  obs::profiler().stop();
+}
+
+TEST_F(DebugHttpTest, PprofThreadsListsTheLastCaptureWithLaneNames) {
+  // Produce a capture so the inventory is non-empty, spinning the
+  // current (main) thread — lane 0 — until at least one tick lands.
+  obs::ProfilerConfig config;
+  config.hz = 500.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  bool sampled = false;
+  while (!sampled && std::chrono::steady_clock::now() < deadline) {
+    ASSERT_TRUE(obs::profiler().start(config));
+    volatile std::uint64_t sink = 0;
+    const auto spin_until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
+    while (std::chrono::steady_clock::now() < spin_until) {
+      for (int i = 0; i < 4096; ++i) sink = sink + static_cast<unsigned>(i);
+    }
+    sampled = obs::profiler().stop().samples > 0;
+  }
+  ASSERT_TRUE(sampled);
+  const std::string response = get(http_.port(), "/debug/pprof/threads");
+  ASSERT_EQ(statusOf(response), 200);
+  const std::string body = bodyOf(response);
+  EXPECT_NE(body.find("\"psmgen.profile_threads.v1\""), std::string::npos);
+  EXPECT_NE(body.find("\"capturing\": false"), std::string::npos);
+  EXPECT_NE(body.find("\"lane_name\": \"main\""), std::string::npos) << body;
 }
 
 TEST(DebugHttpStdio, SessionsRouteExplainsItselfWithoutARegistry) {

@@ -443,6 +443,40 @@ TEST(Exposition, AcceptsOpenMetricsMatchesTheScraperHeader) {
   EXPECT_FALSE(obs::acceptsOpenMetrics(""));
 }
 
+/// q-values are honored, not just the presence of the media type: a
+/// client can name OpenMetrics and still opt out of it.
+TEST(Exposition, AcceptsOpenMetricsHonorsQValues) {
+  // q=0 is an explicit opt-out even though the type is named.
+  EXPECT_FALSE(obs::acceptsOpenMetrics(
+      "application/openmetrics-text;q=0, text/plain"));
+  EXPECT_FALSE(obs::acceptsOpenMetrics("application/openmetrics-text;q=0"));
+  EXPECT_FALSE(obs::acceptsOpenMetrics(
+      "application/openmetrics-text;q=0.0,text/plain;q=0.1"));
+  // Classic preferred by weight wins.
+  EXPECT_FALSE(obs::acceptsOpenMetrics(
+      "application/openmetrics-text;q=0.4, text/plain;q=0.9"));
+  EXPECT_FALSE(obs::acceptsOpenMetrics(
+      "application/openmetrics-text;q=0.4, */*;q=0.8"));
+  // OpenMetrics preferred (or tied) by weight wins.
+  EXPECT_TRUE(obs::acceptsOpenMetrics(
+      "application/openmetrics-text;q=0.9, text/plain;q=0.4"));
+  EXPECT_TRUE(obs::acceptsOpenMetrics(
+      "application/openmetrics-text, text/plain"));
+  EXPECT_TRUE(obs::acceptsOpenMetrics(
+      "text/plain;q=0.5, application/openmetrics-text;q=0.5"));
+  // Wildcards never select OpenMetrics on their own, but a wildcard with
+  // a lower weight does not veto an explicit OpenMetrics request.
+  EXPECT_FALSE(obs::acceptsOpenMetrics("text/*"));
+  EXPECT_TRUE(obs::acceptsOpenMetrics(
+      "application/openmetrics-text;q=1, */*;q=0.1"));
+  // Parameters other than q (version, charset) are ignored; case folds.
+  EXPECT_TRUE(obs::acceptsOpenMetrics(
+      "Application/OpenMetrics-Text; Version=1.0.0; Q=0.7, text/plain;q=0.3"));
+  // Unparsable q falls back to the RFC default of 1.
+  EXPECT_TRUE(obs::acceptsOpenMetrics(
+      "application/openmetrics-text;q=banana"));
+}
+
 /// The exemplar ring is bounded: only the newest kMaxExemplars survive.
 TEST(Exposition, ExemplarStorageIsBounded) {
   obs::Registry registry;

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -455,6 +457,61 @@ TEST(RateLimiter, SuppressedCountAccumulatesAcrossDrops) {
     EXPECT_FALSE(limiter.tickAt(0.1).allowed);
   }
   EXPECT_EQ(limiter.tickAt(2.0).suppressed, 25u);
+}
+
+/// N threads hammering one limiter: every call must be accounted for
+/// exactly once — either allowed, or counted in the `suppressed` tally
+/// handed to a later allowed call. Conservation catches both lost
+/// updates (a racy read-modify-write of suppressed_) and double counts.
+TEST(RateLimiter, ConcurrentCallersConserveTheSuppressedCount) {
+  // Generous rate so the final flush tick below never needs to wait
+  // long for a token, tiny burst so most concurrent calls are drops.
+  obs::RateLimiter limiter(200.0, 2.0);
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 500;
+  std::atomic<std::uint64_t> allowed{0};
+  std::atomic<std::uint64_t> suppressed_seen{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&limiter, &allowed, &suppressed_seen] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        const obs::RateLimiter::Decision d = limiter.tick();
+        if (d.allowed) {
+          allowed.fetch_add(1, std::memory_order_relaxed);
+          suppressed_seen.fetch_add(d.suppressed,
+                                    std::memory_order_relaxed);
+        } else {
+          // A drop never reports a suppressed tally — that is the
+          // property that makes the tally conserve: it is handed out
+          // exactly once, on the next allowed call.
+          EXPECT_EQ(d.suppressed, 0u);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Flush the residual tally: keep ticking (real clock, so a token
+  // arrives within ~5ms at 200/s) until one more call is allowed and
+  // collects whatever the workers left behind. The flush loop's own
+  // failed ticks land in the same tally, so they are counted and
+  // subtracted back out.
+  std::uint64_t flushed = 0;
+  std::uint64_t flush_drops = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const obs::RateLimiter::Decision d = limiter.tick();
+    if (d.allowed) {
+      flushed = d.suppressed;
+      break;
+    }
+    ++flush_drops;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(flushed, flush_drops);
+  const std::uint64_t total =
+      allowed.load() + suppressed_seen.load() + (flushed - flush_drops);
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kCallsPerThread);
 }
 
 // ----------------------------------------------------------- atomic dumps
