@@ -39,21 +39,15 @@ PSMGEN_MAE_TOLERANCE; command-line flags win.
 """
 
 import argparse
-import json
 import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import gate_common  # noqa: E402  (path-relative sibling import)
 
 DEFAULT_WSP_POINTS = 2.0    # absolute percentage points
 DEFAULT_LOST_POINTS = 2.0   # absolute percentage points
 DEFAULT_MAE_TOLERANCE = 0.25  # fraction of baseline MAE
-
-
-def load_entries(path):
-    with open(path, "r", encoding="utf-8") as f:
-        entries = json.load(f)
-    if not isinstance(entries, list) or not entries:
-        raise ValueError(f"{path}: expected a non-empty JSON array")
-    return entries
 
 
 def accuracy_of(entry, path):
@@ -90,7 +84,8 @@ def accuracy_of(entry, path):
 
 def load_accuracy(path):
     """Returns {ip: {wsp, lost, mae}} for one table4 JSON file."""
-    return {e["ip"]: accuracy_of(e, path) for e in load_entries(path)}
+    return {e["ip"]: accuracy_of(e, path)
+            for e in gate_common.load_json_array(path)}
 
 
 def badness(acc):
@@ -128,16 +123,14 @@ def main():
                              "run instead of gating")
     args = parser.parse_args()
 
-    wsp_points = args.wsp_points if args.wsp_points is not None else float(
-        os.environ.get("PSMGEN_WSP_POINTS", DEFAULT_WSP_POINTS))
-    lost_points = args.lost_points if args.lost_points is not None else float(
-        os.environ.get("PSMGEN_LOST_POINTS", DEFAULT_LOST_POINTS))
-    mae_tol = args.mae_tolerance if args.mae_tolerance is not None else float(
-        os.environ.get("PSMGEN_MAE_TOLERANCE", DEFAULT_MAE_TOLERANCE))
-    for name, v in (("--wsp-points", wsp_points),
-                    ("--lost-points", lost_points)):
-        if v < 0.0:
-            parser.error(f"{name} must be >= 0, got {v}")
+    wsp_points = gate_common.env_float(
+        args.wsp_points, "PSMGEN_WSP_POINTS", DEFAULT_WSP_POINTS)
+    lost_points = gate_common.env_float(
+        args.lost_points, "PSMGEN_LOST_POINTS", DEFAULT_LOST_POINTS)
+    mae_tol = gate_common.env_float(
+        args.mae_tolerance, "PSMGEN_MAE_TOLERANCE", DEFAULT_MAE_TOLERANCE)
+    gate_common.require_non_negative(parser, "--wsp-points", wsp_points)
+    gate_common.require_non_negative(parser, "--lost-points", lost_points)
     if not 0.0 <= mae_tol < 1.0:
         parser.error(f"--mae-tolerance must be in [0, 1), got {mae_tol}")
 
@@ -147,11 +140,7 @@ def main():
                 args.candidates,
                 key=lambda p: sum(badness(a)
                                   for a in load_accuracy(p).values()))
-            with open(best_path, "r", encoding="utf-8") as f:
-                payload = f.read()
-            with open(args.baseline, "w", encoding="utf-8") as f:
-                f.write(payload)
-            print(f"baseline {args.baseline} updated from {best_path}")
+            gate_common.update_baseline(args.baseline, best_path)
             return 0
 
         baseline = load_accuracy(args.baseline)
@@ -182,14 +171,12 @@ def main():
             ok = c <= limit or c <= 1e-12
             failed = failed or not ok
             print(f"{ip:<10} {name:<6} {b:>12.4g} {c:>12.4g}  "
-                  f"{'ok' if ok else 'REGRESSION'}")
-    if failed:
-        print(f"FAIL: prediction accuracy regressed beyond tolerance vs "
-              f"{args.baseline}. If the change is an intended trade-off, "
-              "refresh the baseline with --update.")
-        return 1
-    print("PASS")
-    return 0
+                  f"{gate_common.verdict(ok)}")
+    return gate_common.finish(
+        failed,
+        f"prediction accuracy regressed beyond tolerance vs "
+        f"{args.baseline}. If the change is an intended trade-off, "
+        "refresh the baseline with --update.")
 
 
 if __name__ == "__main__":

@@ -31,6 +31,9 @@ import subprocess
 import sys
 import tempfile
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import gate_common  # noqa: E402  (path-relative sibling import)
+
 
 def run_lint(psmgen, artifact, werror=False):
     """Runs `psmgen lint --json` on one artifact.
@@ -127,13 +130,11 @@ def main():
         if not self_test(args.psmgen, args.artifacts[0]):
             failed = True
 
-    if failed:
-        print("FAIL: error-severity lint findings (or a neutered gate); "
-              "inspect the reports, fix the model pipeline, or suppress a "
-              "check explicitly with `psmgen lint --suppress ID`.")
-        return 1
-    print("PASS")
-    return 0
+    return gate_common.finish(
+        failed,
+        "error-severity lint findings (or a neutered gate); "
+        "inspect the reports, fix the model pipeline, or suppress a "
+        "check explicitly with `psmgen lint --suppress ID`.")
 
 
 if __name__ == "__main__":

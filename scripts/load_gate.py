@@ -55,9 +55,11 @@ tolerances; the command-line flags win.
 """
 
 import argparse
-import json
 import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import gate_common  # noqa: E402  (path-relative sibling import)
 
 THROUGHPUT = "bench.serve.rows_per_second"
 P99 = "bench.serve.frame_p99_ms"
@@ -69,10 +71,7 @@ DEFAULT_PROFILER_OVERHEAD_TOLERANCE = 0.02
 
 def load_gauges(path):
     """Returns the gauges dict of the single-entry table6 JSON file."""
-    with open(path, "r", encoding="utf-8") as f:
-        entries = json.load(f)
-    if not isinstance(entries, list) or len(entries) != 1:
-        raise ValueError(f"{path}: expected a one-entry JSON array")
+    entries = gate_common.load_json_array(path, expect_len=1)
     gauges = entries[0]["metrics"]["gauges"]
     for metric in (THROUGHPUT, P99) + ZERO_METRICS:
         if metric not in gauges:
@@ -112,12 +111,10 @@ def main():
                              ", or PSMGEN_PROFILER_OVERHEAD_TOLERANCE)")
     args = parser.parse_args()
 
-    tolerance = args.tolerance
-    if tolerance is None:
-        tolerance = float(os.environ.get("PSMGEN_LOAD_TOLERANCE",
-                                         DEFAULT_TOLERANCE))
-    if not 0.0 < tolerance < 1.0:
-        parser.error(f"tolerance must be in (0, 1), got {tolerance}")
+    tolerance = gate_common.require_fraction(
+        parser, "tolerance",
+        gate_common.env_float(args.tolerance, "PSMGEN_LOAD_TOLERANCE",
+                              DEFAULT_TOLERANCE))
 
     # Correctness first, on every run: a single corrupted frame is a bug
     # whatever the throughput numbers say.
@@ -135,11 +132,7 @@ def main():
     if args.update:
         best_path = max(args.candidates,
                         key=lambda p: float(load_gauges(p)[THROUGHPUT]))
-        with open(best_path, "r", encoding="utf-8") as f:
-            payload = f.read()
-        with open(args.baseline, "w", encoding="utf-8") as f:
-            f.write(payload)
-        print(f"baseline {args.baseline} updated from {best_path}")
+        gate_common.update_baseline(args.baseline, best_path)
         return 0
 
     base = load_gauges(args.baseline)
@@ -156,31 +149,28 @@ def main():
     rps_ok = rps_ratio >= 1.0 - tolerance
     failed = failed or not rps_ok
     print(f"{THROUGHPUT:<32} {base_rps:>14.0f} {best_rps:>14.0f} "
-          f"{rps_ratio:>8.2f}  {'ok' if rps_ok else 'REGRESSION'}")
+          f"{rps_ratio:>8.2f}  {gate_common.verdict(rps_ok)}")
 
     base_p99 = float(base[P99])
     p99_ratio = best_p99 / base_p99 if base_p99 > 0.0 else 1.0
     p99_ok = p99_ratio <= 1.0 / (1.0 - tolerance)
     failed = failed or not p99_ok
     print(f"{P99:<32} {base_p99:>14.2f} {best_p99:>14.2f} "
-          f"{p99_ratio:>8.2f}  {'ok' if p99_ok else 'REGRESSION'}")
+          f"{p99_ratio:>8.2f}  {gate_common.verdict(p99_ok)}")
 
     if args.overhead_off is not None:
-        overhead_tolerance = args.overhead_tolerance
-        if overhead_tolerance is None:
-            overhead_tolerance = float(os.environ.get(
-                "PSMGEN_FLIGHT_OVERHEAD_TOLERANCE",
-                DEFAULT_OVERHEAD_TOLERANCE))
-        if not 0.0 < overhead_tolerance < 1.0:
-            parser.error("overhead tolerance must be in (0, 1), got "
-                         f"{overhead_tolerance}")
+        overhead_tolerance = gate_common.require_fraction(
+            parser, "overhead tolerance",
+            gate_common.env_float(args.overhead_tolerance,
+                                  "PSMGEN_FLIGHT_OVERHEAD_TOLERANCE",
+                                  DEFAULT_OVERHEAD_TOLERANCE))
         off_rps = float(load_gauges(args.overhead_off)[THROUGHPUT])
         on_ratio = best_rps / off_rps if off_rps > 0.0 else 1.0
         on_ok = on_ratio >= 1.0 - overhead_tolerance
         failed = failed or not on_ok
         print(f"{'flight recorder overhead':<32} {off_rps:>14.0f} "
               f"{best_rps:>14.0f} {on_ratio:>8.2f}  "
-              f"{'ok' if on_ok else 'REGRESSION'}")
+              f"{gate_common.verdict(on_ok)}")
         if not on_ok:
             print(f"FAIL: flight recorder costs more than "
                   f"{overhead_tolerance:.0%} of serving throughput "
@@ -188,14 +178,11 @@ def main():
                   f"{best_rps:.0f} rows/s)")
 
     if args.profiler_on is not None:
-        profiler_tolerance = args.profiler_overhead_tolerance
-        if profiler_tolerance is None:
-            profiler_tolerance = float(os.environ.get(
-                "PSMGEN_PROFILER_OVERHEAD_TOLERANCE",
-                DEFAULT_PROFILER_OVERHEAD_TOLERANCE))
-        if not 0.0 < profiler_tolerance < 1.0:
-            parser.error("profiler overhead tolerance must be in (0, 1), "
-                         f"got {profiler_tolerance}")
+        profiler_tolerance = gate_common.require_fraction(
+            parser, "profiler overhead tolerance",
+            gate_common.env_float(args.profiler_overhead_tolerance,
+                                  "PSMGEN_PROFILER_OVERHEAD_TOLERANCE",
+                                  DEFAULT_PROFILER_OVERHEAD_TOLERANCE))
         profiled = load_gauges(args.profiler_on)
         for metric in ZERO_METRICS:
             if float(profiled[metric]) != 0.0:
@@ -208,20 +195,18 @@ def main():
         failed = failed or not profiled_ok
         print(f"{'profiler overhead':<32} {best_rps:>14.0f} "
               f"{profiled_rps:>14.0f} {profiled_ratio:>8.2f}  "
-              f"{'ok' if profiled_ok else 'REGRESSION'}")
+              f"{gate_common.verdict(profiled_ok)}")
         if not profiled_ok:
             print(f"FAIL: 97 Hz sampling costs more than "
                   f"{profiler_tolerance:.0%} of serving throughput "
                   f"(unprofiled best {best_rps:.0f} rows/s, profiled "
                   f"{profiled_rps:.0f} rows/s)")
 
-    if failed:
-        print(f"FAIL: serving load degraded beyond {tolerance:.0%} of the "
-              f"committed baseline ({args.baseline}). If the change is "
-              "intended, refresh the baseline with --update.")
-        return 1
-    print("PASS")
-    return 0
+    return gate_common.finish(
+        failed,
+        f"serving load degraded beyond {tolerance:.0%} of the "
+        f"committed baseline ({args.baseline}). If the change is "
+        "intended, refresh the baseline with --update.")
 
 
 if __name__ == "__main__":

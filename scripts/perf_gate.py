@@ -26,9 +26,11 @@ variable (a fraction, e.g. ``0.25``); the command-line flag wins.
 """
 
 import argparse
-import json
 import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import gate_common  # noqa: E402  (path-relative sibling import)
 
 DEFAULT_METRIC = "bench.rows_per_second"
 DEFAULT_TOLERANCE = 0.25
@@ -36,10 +38,7 @@ DEFAULT_TOLERANCE = 0.25
 
 def load_metric(path, metric):
     """Returns {ip: value} for `metric` from one table4 JSON file."""
-    with open(path, "r", encoding="utf-8") as f:
-        entries = json.load(f)
-    if not isinstance(entries, list) or not entries:
-        raise ValueError(f"{path}: expected a non-empty JSON array")
+    entries = gate_common.load_json_array(path)
     values = {}
     for entry in entries:
         ip = entry["ip"]
@@ -78,12 +77,10 @@ def main():
                              "run instead of gating")
     args = parser.parse_args()
 
-    tolerance = args.tolerance
-    if tolerance is None:
-        tolerance = float(os.environ.get("PSMGEN_PERF_TOLERANCE",
-                                         DEFAULT_TOLERANCE))
-    if not 0.0 < tolerance < 1.0:
-        parser.error(f"tolerance must be in (0, 1), got {tolerance}")
+    tolerance = gate_common.require_fraction(
+        parser, "tolerance",
+        gate_common.env_float(args.tolerance, "PSMGEN_PERF_TOLERANCE",
+                              DEFAULT_TOLERANCE))
 
     if args.update:
         # The baseline keeps the full bench output of the fastest run
@@ -92,11 +89,7 @@ def main():
         best_path = max(
             args.candidates,
             key=lambda p: sum(load_metric(p, args.metric).values()))
-        with open(best_path, "r", encoding="utf-8") as f:
-            payload = f.read()
-        with open(args.baseline, "w", encoding="utf-8") as f:
-            f.write(payload)
-        print(f"baseline {args.baseline} updated from {best_path}")
+        gate_common.update_baseline(args.baseline, best_path)
         return 0
 
     baseline = load_metric(args.baseline, args.metric)
@@ -118,14 +111,12 @@ def main():
         ok = ratio >= 1.0 - tolerance
         failed = failed or not ok
         print(f"{ip:<10} {base:>14.0f} {cand:>14.0f} {ratio:>8.2f}  "
-              f"{'ok' if ok else 'REGRESSION'}")
-    if failed:
-        print(f"FAIL: throughput regressed more than {tolerance:.0%} below "
-              f"the committed baseline ({args.baseline}). If the slowdown is "
-              "intended, refresh the baseline with --update.")
-        return 1
-    print("PASS")
-    return 0
+              f"{gate_common.verdict(ok)}")
+    return gate_common.finish(
+        failed,
+        f"throughput regressed more than {tolerance:.0%} below "
+        f"the committed baseline ({args.baseline}). If the slowdown is "
+        "intended, refresh the baseline with --update.")
 
 
 if __name__ == "__main__":

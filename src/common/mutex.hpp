@@ -1,0 +1,110 @@
+#pragma once
+// Annotated mutex / scoped-lock / condition-variable wrappers.
+//
+// Thin, zero-overhead wrappers over std::mutex and std::condition_variable
+// that carry the Clang thread-safety attributes from
+// common/thread_annotations.hpp. All shared mutable state in src/ is
+// guarded by these types (never raw std::mutex), so that GUARDED_BY /
+// REQUIRES contracts are machine-checked when the build is configured
+// with -DPSMGEN_THREAD_SAFETY=ON.
+//
+// Idioms:
+//   common::Mutex mu_;
+//   int value_ GUARDED_BY(mu_);
+//   void touch() { common::MutexLock lock(mu_); ++value_; }
+//   void touchLocked() REQUIRES(mu_);   // helper called under the lock
+//
+// Condition waits use CondVar::wait(mu) inside an explicit predicate
+// loop (`while (!ready_) cv_.wait(mu_);`). There is deliberately no
+// predicate-lambda overload: the analysis treats a lambda body as an
+// unannotated function, so a predicate reading guarded fields would
+// defeat the check the wrappers exist to provide.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace psmgen::common {
+
+/// Annotated exclusive mutex. Same cost and semantics as the std::mutex
+/// it wraps; the annotations make it a named capability the analysis can
+/// track through lock()/unlock()/try_lock().
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex; the analysis knows the capability is held for the
+/// guard's lifetime.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII try-lock for Mutex; ownsLock() reports whether the capability was
+/// acquired. Clang's analysis cannot model a scoped guard whose ownership
+/// is conditional, so construction/destruction are excluded from analysis
+/// and the (rare) functions that use this type — the async-signal dump
+/// paths, which must never block — are annotated NO_THREAD_SAFETY_ANALYSIS
+/// with a justifying comment.
+class MutexTryLock {
+ public:
+  explicit MutexTryLock(Mutex& mu) NO_THREAD_SAFETY_ANALYSIS
+      : mu_(mu),
+        owned_(mu.try_lock()) {}
+  MutexTryLock(const MutexTryLock&) = delete;
+  MutexTryLock& operator=(const MutexTryLock&) = delete;
+  ~MutexTryLock() NO_THREAD_SAFETY_ANALYSIS {
+    if (owned_) mu_.unlock();
+  }
+
+  bool ownsLock() const { return owned_; }
+
+ private:
+  Mutex& mu_;
+  bool owned_;
+};
+
+/// Condition variable bound to Mutex. wait() requires the mutex held and
+/// holds it again on return; use inside an explicit `while (!cond)` loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires `mu` before
+  /// returning. Body excluded from analysis: the release/re-acquire pair
+  /// happens inside std::condition_variable, which the analysis cannot
+  /// see; the REQUIRES contract at the call site is what matters.
+  void wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace psmgen::common

@@ -1,5 +1,7 @@
 #include "common/strings.hpp"
 
+#include <string.h>  // strerror_r: POSIX, not in <cstring>'s std::
+
 #include <cctype>
 #include <cstdio>
 
@@ -52,6 +54,33 @@ std::string padLeft(const std::string& s, std::size_t width) {
 std::string padRight(const std::string& s, std::size_t width) {
   if (s.size() >= width) return s;
   return s + std::string(width - s.size(), ' ');
+}
+
+namespace {
+
+// glibc with _GNU_SOURCE ships the char*-returning strerror_r; POSIX
+// ships the int-returning one. Overload resolution picks the adapter
+// matching the libc actually in use, so the same code compiles against
+// either ABI (if constexpr would type-check both branches here).
+[[maybe_unused]] const char* strerrorResult(char* result,
+                                            const char* /*buf*/) {
+  return result;
+}
+[[maybe_unused]] const char* strerrorResult(int result, const char* buf) {
+  return result == 0 ? buf : nullptr;
+}
+
+}  // namespace
+
+std::string errnoMessage(int errnum) {
+  char buf[256];
+  buf[0] = '\0';
+  const char* msg = strerrorResult(strerror_r(errnum, buf, sizeof(buf)), buf);
+  if (msg == nullptr || *msg == '\0') {
+    std::snprintf(buf, sizeof(buf), "errno %d", errnum);
+    return buf;
+  }
+  return msg;
 }
 
 }  // namespace psmgen::common

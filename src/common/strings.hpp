@@ -26,4 +26,11 @@ std::string padLeft(const std::string& s, std::size_t width);
 /// Right-pads with spaces to at least `width` characters.
 std::string padRight(const std::string& s, std::size_t width);
 
+/// Thread-safe strerror: the message for `errnum` via strerror_r into
+/// a local buffer. std::strerror returns a pointer into static storage
+/// that a concurrent call may rewrite mid-read (clang-tidy
+/// concurrency-mt-unsafe), and psmgen reports socket errors from the
+/// accept, session and scrape threads at once — use this everywhere.
+std::string errnoMessage(int errnum);
+
 }  // namespace psmgen::common

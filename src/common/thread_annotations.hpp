@@ -1,0 +1,96 @@
+#pragma once
+// Clang Thread Safety Analysis attribute macros.
+//
+// These macros let the compiler check locking contracts statically:
+// fields declare which capability (mutex) guards them, functions declare
+// which capabilities they require / acquire / release, and any access
+// that violates the declared contract is a compile error when the build
+// is configured with -DPSMGEN_THREAD_SAFETY=ON (Clang only, enabling
+// -Wthread-safety -Wthread-safety-beta -Werror=thread-safety). Under GCC
+// — which has no thread-safety analysis — every macro expands to nothing,
+// so annotated code compiles identically everywhere.
+//
+// The macro set and spelling follow the canonical Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Use them via
+// the annotated wrappers in common/mutex.hpp rather than on raw
+// std::mutex: the analysis only understands lock/unlock functions that
+// carry ACQUIRE/RELEASE attributes, which the standard library lacks.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PSMGEN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PSMGEN_THREAD_ANNOTATION
+#define PSMGEN_THREAD_ANNOTATION(x)  // no-op: compiler lacks the analysis
+#endif
+
+/// Marks a class as a capability (lockable). The string names the
+/// capability kind in diagnostics, conventionally "mutex".
+#define CAPABILITY(x) PSMGEN_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (e.g. common::MutexLock).
+#define SCOPED_CAPABILITY PSMGEN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define GUARDED_BY(x) PSMGEN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer-field annotation: dereferences require holding `x` (the
+/// pointer itself is unguarded).
+#define PT_GUARDED_BY(x) PSMGEN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares lock-ordering: this capability must be acquired before `...`.
+#define ACQUIRED_BEFORE(...) \
+  PSMGEN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Declares lock-ordering: this capability must be acquired after `...`.
+#define ACQUIRED_AFTER(...) \
+  PSMGEN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function annotation: the caller must hold `...` exclusively.
+#define REQUIRES(...) \
+  PSMGEN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must hold `...` at least shared.
+#define REQUIRES_SHARED(...) \
+  PSMGEN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function annotation: acquires `...` exclusively; caller must not hold it.
+#define ACQUIRE(...) \
+  PSMGEN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: acquires `...` shared; caller must not hold it.
+#define ACQUIRE_SHARED(...) \
+  PSMGEN_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function annotation: releases `...` (exclusive or shared).
+#define RELEASE(...) \
+  PSMGEN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function annotation: releases a shared hold of `...`.
+#define RELEASE_SHARED(...) \
+  PSMGEN_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function annotation: tries to acquire `...`; returns `b` on success.
+#define TRY_ACQUIRE(b, ...) \
+  PSMGEN_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold `...` (anti-deadlock:
+/// the function acquires it itself, or waits on it).
+#define EXCLUDES(...) PSMGEN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: asserts (at runtime) that `...` is held; the
+/// analysis trusts the assertion from that point on.
+#define ASSERT_CAPABILITY(x) \
+  PSMGEN_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function annotation: the returned reference is the capability guarding
+/// the associated data.
+#define RETURN_CAPABILITY(x) PSMGEN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's body is not analyzed. Every use must
+/// carry a comment justifying why the contract cannot be expressed
+/// (signal-handler lock-free protocols, try-lock dump paths).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PSMGEN_THREAD_ANNOTATION(no_thread_safety_analysis)

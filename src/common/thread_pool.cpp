@@ -25,11 +25,10 @@ struct ThreadPool::Job {
   std::atomic<std::size_t> cursor{0};  ///< next index to hand out
   std::atomic<std::size_t> done{0};    ///< iterations finished
 
-  // Guarded by pool->mutex_: participants currently inside runChunks and
-  // the error of the lowest-indexed failing chunk.
-  std::size_t active = 0;
-  std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
-  std::exception_ptr error;
+  // Progress bookkeeping (active participants, first failing chunk) lives
+  // on the pool itself, guarded by pool->mutex_: only one job runs at a
+  // time (the generation protocol enforces it), and pool members let the
+  // thread-safety analysis match the guard expression at every access.
 };
 
 unsigned ThreadPool::resolveThreads(unsigned requested) {
@@ -50,7 +49,7 @@ ThreadPool::ThreadPool(unsigned num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -70,10 +69,10 @@ void ThreadPool::runChunks(Job& job, unsigned participant) {
     try {
       for (std::size_t i = begin; i < end; ++i) (*job.body)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job.pool->mutex_);
-      if (begin < job.error_chunk) {
-        job.error_chunk = begin;
-        job.error = std::current_exception();
+      MutexLock lock(job.pool->mutex_);
+      if (begin < job.pool->error_chunk_) {
+        job.pool->error_chunk_ = begin;
+        job.pool->error_ = std::current_exception();
       }
     }
     const std::size_t finished =
@@ -81,7 +80,7 @@ void ThreadPool::runChunks(Job& job, unsigned participant) {
         (end - begin);
     if (finished == job.n) {
       // Completion may be observed by a worker, not the caller: wake it.
-      std::lock_guard<std::mutex> lock(job.pool->mutex_);
+      MutexLock lock(job.pool->mutex_);
       job.pool->done_cv_.notify_all();
       break;
     }
@@ -98,19 +97,22 @@ void ThreadPool::workerLoop(unsigned worker_id) {
   tls_inside_worker = true;
   tls_worker_id = static_cast<int>(worker_id);
   std::uint64_t seen_generation = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.lock();
   while (true) {
-    work_cv_.wait(lock, [&] {
-      return stop_ || (job_ != nullptr && generation_ != seen_generation);
-    });
-    if (stop_) return;
+    while (!(stop_ || (job_ != nullptr && generation_ != seen_generation))) {
+      work_cv_.wait(mutex_);
+    }
+    if (stop_) {
+      mutex_.unlock();
+      return;
+    }
     seen_generation = generation_;
     Job& job = *job_;
-    ++job.active;
-    lock.unlock();
+    ++active_;
+    mutex_.unlock();
     runChunks(job, worker_id);
-    lock.lock();
-    --job.active;
+    mutex_.lock();
+    --active_;
     done_cv_.notify_all();
   }
 }
@@ -129,7 +131,7 @@ std::vector<ThreadPool::WorkerStats> ThreadPool::workerStats() const {
 }
 
 std::size_t ThreadPool::queueDepth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (job_ == nullptr) return 0;
   const std::size_t handed =
       std::min(job_->n, job_->cursor.load(std::memory_order_relaxed));
@@ -152,25 +154,29 @@ void ThreadPool::parallelFor(std::size_t n,
   job.body = &body;
   job.pool = this;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &job;
     ++generation_;
+    error_chunk_ = std::numeric_limits<std::size_t>::max();
+    error_ = nullptr;
   }
   jobs_executed_.fetch_add(1, std::memory_order_relaxed);
   work_cv_.notify_all();
   runChunks(job, /*participant=*/0);
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.lock();
   // Wait for the last iteration *and* for every worker to step out of the
   // job before it goes out of scope (a worker that lost the race for the
   // final chunk may still be touching the cursor).
-  done_cv_.wait(lock, [&] {
-    return job.done.load(std::memory_order_acquire) == job.n &&
-           job.active == 0;
-  });
+  while (!(job.done.load(std::memory_order_acquire) == job.n &&
+           active_ == 0)) {
+    done_cv_.wait(mutex_);
+  }
   job_ = nullptr;
-  lock.unlock();
-  if (job.error) std::rethrow_exception(job.error);
+  std::exception_ptr error = std::move(error_);
+  error_ = nullptr;
+  mutex_.unlock();
+  if (error) std::rethrow_exception(error);
 }
 
 void parallel_for(ThreadPool* pool, std::size_t n,

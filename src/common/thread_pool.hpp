@@ -16,13 +16,15 @@
 // schedule changes; callers keep results deterministic by writing to
 // per-index slots and reducing in index order afterwards.
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace psmgen::common {
 
@@ -71,7 +73,7 @@ class ThreadPool {
 
   /// Iterations of the currently running job not yet handed out; 0 when
   /// the pool is idle. A sampling gauge, inherently approximate.
-  std::size_t queueDepth() const;
+  std::size_t queueDepth() const EXCLUDES(mutex_);
 
   /// Runs body(i) for every i in [0, n) and blocks until all iterations
   /// completed. Iterations are dealt out in chunks of `grain` consecutive
@@ -85,7 +87,7 @@ class ThreadPool {
   /// is rethrown on the caller. With grain == 1 this makes the observed
   /// exception deterministic regardless of thread count.
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
-                   std::size_t grain = 1);
+                   std::size_t grain = 1) EXCLUDES(mutex_);
 
  private:
   struct Job;
@@ -106,12 +108,25 @@ class ThreadPool {
   std::vector<StatsSlot> stats_;  ///< one slot per participant
   std::atomic<std::uint64_t> jobs_executed_{0};
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< workers wait here for a new job
-  std::condition_variable done_cv_;  ///< parallelFor waits here for completion
-  Job* job_ = nullptr;               ///< current job (guarded by mutex_)
-  std::uint64_t generation_ = 0;     ///< bumped per job (guarded by mutex_)
-  bool stop_ = false;                ///< guarded by mutex_
+  // Lock table — mutex_ protects the job hand-off protocol:
+  //   job_         current job pointer (null when idle)
+  //   generation_  bumped once per published job; workers compare it to
+  //                their last-seen value to detect fresh work
+  //   stop_        destructor shutdown flag
+  //   active_      participants currently inside runChunks; parallelFor
+  //                may not retire the job until this drops to 0
+  //   error_chunk_ / error_   lowest failing chunk of the current job and
+  //                its exception (rethrown on the caller)
+  // Iteration hand-out (Job::cursor/done) is deliberately lock-free.
+  mutable Mutex mutex_;
+  CondVar work_cv_;  ///< workers wait here for a new job
+  CondVar done_cv_;  ///< parallelFor waits here for completion
+  Job* job_ GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  bool stop_ GUARDED_BY(mutex_) = false;
+  std::size_t active_ GUARDED_BY(mutex_) = 0;
+  std::size_t error_chunk_ GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ GUARDED_BY(mutex_);
 };
 
 /// Convenience wrapper used by the flow: runs body(i) for i in [0, n),

@@ -51,13 +51,13 @@ FlightRecorder::FlightRecorder()
       epoch_(std::chrono::steady_clock::now()) {}
 
 void FlightRecorder::configure(std::size_t per_thread_capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   capacity_ = per_thread_capacity;
   // Existing rings are resized in place (clearing their history) and
   // keep their thread bindings — cached ring pointers stay valid, so
   // reconfiguring never grows the ring set.
   for (auto& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    common::MutexLock ring_lock(ring->mutex);
     ring->slots.assign(capacity_, FlightEvent{});
     ring->total = 0;
   }
@@ -65,17 +65,17 @@ void FlightRecorder::configure(std::size_t per_thread_capacity) {
 }
 
 std::size_t FlightRecorder::capacity() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return capacity_;
 }
 
 void FlightRecorder::setDumpDir(std::string dir) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   dump_dir_ = std::move(dir);
 }
 
 std::string FlightRecorder::dumpDir() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return dump_dir_;
 }
 
@@ -91,7 +91,7 @@ std::uint64_t FlightRecorder::nowUs() const {
   // we take the lock to stay TSan-clean.
   std::uint64_t (*clock)() = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     clock = clock_;
   }
   if (clock != nullptr) return clock();
@@ -105,7 +105,7 @@ FlightRecorder::Ring& FlightRecorder::threadRing() {
   if (t_ring != nullptr && t_ring_instance == instance_id_) {
     return *static_cast<Ring*>(t_ring);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   Ring*& slot = ring_by_thread_[std::this_thread::get_id()];
   if (slot == nullptr) {
     auto ring = std::make_unique<Ring>();
@@ -126,7 +126,7 @@ std::uint64_t FlightRecorder::record(FlightEvent& event) {
 
   Ring& ring = threadRing();
   {
-    std::lock_guard<std::mutex> lock(ring.mutex);
+    common::MutexLock lock(ring.mutex);
     if (ring.slots.empty()) return 0;  // configured to capacity 0 meanwhile
     FlightEvent& slot = ring.slots[ring.total % ring.slots.size()];
     if (ring.total >= ring.slots.size() && slot.id != 0) {
@@ -158,9 +158,9 @@ std::vector<FlightEvent> FlightRecorder::snapshot(std::uint64_t session,
                                                   std::size_t max_events) const {
   std::vector<FlightEvent> merged;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     for (const auto& ring : rings_) {
-      std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      common::MutexLock ring_lock(ring->mutex);
       collectRingLocked(*ring, session, merged);
     }
   }
@@ -176,15 +176,15 @@ std::vector<FlightEvent> FlightRecorder::snapshot(std::uint64_t session,
 }
 
 std::size_t FlightRecorder::ringCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return rings_.size();
 }
 
 bool FlightRecorder::hasSession(std::uint64_t session) const {
   if (session == 0) return false;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (const auto& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    common::MutexLock ring_lock(ring->mutex);
     const std::size_t live =
         std::min<std::uint64_t>(ring->total, ring->slots.size());
     const std::size_t size = ring->slots.size();
@@ -262,7 +262,13 @@ std::string FlightRecorder::triggerDump(std::string_view reason,
   return path;
 }
 
-std::string FlightRecorder::triggerDumpFromSignal(std::string_view reason) {
+// NO_THREAD_SAFETY_ANALYSIS: the whole point of this path is conditional
+// (try_lock) ownership, which the analysis cannot model — every guarded
+// access below is gated on MutexTryLock::ownsLock(), and the contract is
+// instead pinned by scripts/signal_safety_gate.py plus the fatal-dump
+// tests.
+std::string FlightRecorder::triggerDumpFromSignal(std::string_view reason)
+    NO_THREAD_SAFETY_ANALYSIS {
   if (!enabled()) return "";
   // The crashing thread may hold any recorder lock (crash during a
   // snapshot, abort out of record()); everything here is try_lock with
@@ -271,13 +277,13 @@ std::string FlightRecorder::triggerDumpFromSignal(std::string_view reason) {
   std::vector<FlightEvent> merged;
   std::string dir;
   {
-    std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
-    if (!lock.owns_lock()) return "";
+    common::MutexTryLock lock(mutex_);
+    if (!lock.ownsLock()) return "";
     if (dump_dir_.empty()) return "";
     dir = dump_dir_;
     for (const auto& ring : rings_) {
-      std::unique_lock<std::mutex> ring_lock(ring->mutex, std::try_to_lock);
-      if (!ring_lock.owns_lock()) continue;  // held by the crasher: skip
+      common::MutexTryLock ring_lock(ring->mutex);
+      if (!ring_lock.ownsLock()) continue;  // held by the crasher: skip
       collectRingLocked(*ring, /*session=*/0, merged);
     }
   }
@@ -309,9 +315,9 @@ std::string FlightRecorder::triggerDumpFromSignal(std::string_view reason) {
 }
 
 void FlightRecorder::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (auto& ring : rings_) {
-    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    common::MutexLock ring_lock(ring->mutex);
     std::fill(ring->slots.begin(), ring->slots.end(), FlightEvent{});
     ring->total = 0;
   }
@@ -322,15 +328,31 @@ void FlightRecorder::clear() {
 }
 
 void FlightRecorder::setClockForTest(std::uint64_t (*now_us)()) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   clock_ = now_us;
 }
+
+namespace {
+
+/// Published by flightRecorder() once the lazy singleton exists; the
+/// signal path reads only this, never the guarded static below.
+std::atomic<FlightRecorder*> g_recorder_if_created{nullptr};
+
+}  // namespace
 
 FlightRecorder& flightRecorder() {
   // Leaked on purpose (like logger()/metrics()): rings must outlive any
   // thread that might record during static destruction.
-  static FlightRecorder* recorder = new FlightRecorder();
+  static FlightRecorder* recorder = [] {
+    auto* created = new FlightRecorder();
+    g_recorder_if_created.store(created, std::memory_order_release);
+    return created;
+  }();
   return *recorder;
+}
+
+FlightRecorder* flightRecorderIfCreated() noexcept {
+  return g_recorder_if_created.load(std::memory_order_acquire);
 }
 
 namespace {
@@ -347,10 +369,16 @@ void fatalSignalHandler(int signo) {
   // process dies within 5s in that case instead of hanging forever
   // under a supervisor that is waiting to restart it.
   if (!g_in_fatal_dump.exchange(true)) {
-    std::signal(SIGALRM, SIG_DFL);
-    ::alarm(5);
-    flightRecorder().triggerDumpFromSignal("fatal_signal");
-    ::alarm(0);
+    // flightRecorderIfCreated(), never flightRecorder(): the lazy
+    // accessor's first call allocates under a static guard, and neither
+    // __cxa_guard_acquire nor operator new may appear in a handler's
+    // call graph (scripts/signal_safety_gate.py enforces this).
+    if (FlightRecorder* recorder = flightRecorderIfCreated()) {
+      std::signal(SIGALRM, SIG_DFL);
+      ::alarm(5);
+      recorder->triggerDumpFromSignal("fatal_signal");
+      ::alarm(0);
+    }
   }
   std::signal(signo, SIG_DFL);
   std::raise(signo);

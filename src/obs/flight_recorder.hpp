@@ -43,12 +43,14 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace psmgen::obs {
 
@@ -192,11 +194,13 @@ class FlightRecorder {
 
  private:
   /// One thread's ring. `total` counts appends forever; the live slots
-  /// are the last min(total, capacity) of them.
+  /// are the last min(total, capacity) of them. Lock table — `mutex`
+  /// guards `slots` and `total`; always acquired after the recorder's
+  /// mutex_ when both are held (configure/snapshot/clear), never before.
   struct Ring {
-    mutable std::mutex mutex;
-    std::vector<FlightEvent> slots;
-    std::uint64_t total = 0;
+    mutable common::Mutex mutex;
+    std::vector<FlightEvent> slots GUARDED_BY(mutex);
+    std::uint64_t total GUARDED_BY(mutex) = 0;
   };
 
   Ring& threadRing();
@@ -204,7 +208,8 @@ class FlightRecorder {
   /// Appends `ring`'s live events (optionally filtered to `session`)
   /// onto `out`. Caller holds ring.mutex.
   static void collectRingLocked(const Ring& ring, std::uint64_t session,
-                                std::vector<FlightEvent>& out);
+                                std::vector<FlightEvent>& out)
+      REQUIRES(ring.mutex);
   /// Renders pre-collected, id-sorted events as "psmgen.events.v1".
   void writeJsonEvents(std::ostream& os, std::string_view reason,
                        const std::vector<FlightEvent>& events) const;
@@ -220,17 +225,22 @@ class FlightRecorder {
   /// never resolve against a different (or recreated) recorder.
   const std::uint64_t instance_id_;
 
-  mutable std::mutex mutex_;  ///< guards rings_, ring_by_thread_,
-                              ///< capacity_, dump_dir_, clock_
-  std::vector<std::unique_ptr<Ring>> rings_;
+  // Lock table — mutex_ guards the ring set (rings_/ring_by_thread_) and
+  // the configuration (capacity_/dump_dir_/clock_). The contents of each
+  // ring are guarded by that Ring's own mutex (acquired after mutex_,
+  // see Ring); epoch_ is immutable after construction; the counters
+  // above are relaxed atomics.
+  mutable common::Mutex mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_ GUARDED_BY(mutex_);
   /// Each thread's ring, so a thread whose cache was invalidated (it
   /// recorded into another recorder in between) finds its existing ring
   /// back instead of appending a fresh one. Rings still outlive their
   /// threads: entries are never erased.
-  std::unordered_map<std::thread::id, Ring*> ring_by_thread_;
-  std::size_t capacity_ = 1024;
-  std::string dump_dir_;
-  std::uint64_t (*clock_)() = nullptr;
+  std::unordered_map<std::thread::id, Ring*> ring_by_thread_
+      GUARDED_BY(mutex_);
+  std::size_t capacity_ GUARDED_BY(mutex_) = 1024;
+  std::string dump_dir_ GUARDED_BY(mutex_);
+  std::uint64_t (*clock_)() GUARDED_BY(mutex_) = nullptr;
   std::chrono::steady_clock::time_point epoch_;
   /// Last triggerDump wall time, for the one-per-second limit.
   std::atomic<std::int64_t> last_trigger_ms_{-1000000};
@@ -238,6 +248,14 @@ class FlightRecorder {
 
 /// The process-global recorder.
 FlightRecorder& flightRecorder();
+
+/// The process-global recorder if flightRecorder() has already created
+/// it, else nullptr — one acquire load, nothing more. The fatal-signal
+/// handler uses this instead of flightRecorder() so first-call lazy
+/// initialization (__cxa_guard_acquire + operator new) can never appear
+/// in a signal handler's call graph; scripts/signal_safety_gate.py
+/// enforces that property.
+FlightRecorder* flightRecorderIfCreated() noexcept;
 
 /// Installs SIGSEGV/SIGBUS/SIGFPE/SIGABRT handlers that best-effort
 /// dump the flight history before re-raising the default action, so a

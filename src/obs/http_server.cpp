@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/strings.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
@@ -132,7 +133,7 @@ void HttpServer::handle(const std::string& path, Handler handler) {
 bool HttpServer::listen(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    error("http.socket_failed", {{"errno", std::strerror(errno)}});
+    error("http.socket_failed", {{"errno", common::errnoMessage(errno)}});
     return false;
   }
   const int one = 1;
@@ -144,7 +145,7 @@ bool HttpServer::listen(std::uint16_t port) {
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
       ::listen(fd, 16) < 0) {
     error("http.bind_failed",
-          {{"port", port}, {"errno", std::strerror(errno)}});
+          {{"port", port}, {"errno", common::errnoMessage(errno)}});
     ::close(fd);
     return false;
   }

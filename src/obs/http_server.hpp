@@ -110,6 +110,12 @@ class HttpServer {
   void serveConnection(int fd);
   void respond(int fd, const std::string& method, const Response& response);
 
+  // Lock table — none: this class deliberately owns no mutex. routes_
+  // follows a publish-then-read protocol (mutated only before start(),
+  // read only by the accept thread afterwards — the handle() contract
+  // above), and every field shared with the accept thread past start()
+  // is an atomic below. If routes_ ever becomes mutable while running,
+  // it must move behind a common::Mutex with GUARDED_BY.
   std::map<std::string, Handler> routes_;
   // Written by listen()/stop() on the controlling thread and read by the
   // accept loop thread; atomic so stop() tearing the socket down does not

@@ -112,7 +112,7 @@ void LogValue::append(std::string& out, bool json) const {
 }
 
 void Logger::setSink(std::ostream* os) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   sink_ = os;
 }
 
@@ -151,7 +151,7 @@ void Logger::log(LogLevel level, std::string_view event,
     }
   }
   line += '\n';
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::ostream& os = sink_ != nullptr ? *sink_ : std::cerr;
   os << line;
   os.flush();
@@ -172,7 +172,7 @@ RateLimiter::Decision RateLimiter::tick() {
 }
 
 RateLimiter::Decision RateLimiter::tickAt(double now_seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (primed_) {
     const double elapsed = now_seconds - last_;
     if (elapsed > 0.0) {

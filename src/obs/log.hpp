@@ -17,11 +17,13 @@
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <type_traits>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace psmgen::obs {
 
@@ -104,10 +106,14 @@ class Logger {
            std::initializer_list<LogField> fields = {});
 
  private:
+  // Lock table — mutex_ guards the sink pointer and serializes the
+  // stream write so concurrent log() lines never interleave. Level and
+  // format are relaxed atomics (hot-path suppression check stays
+  // lock-free).
   std::atomic<int> level_{static_cast<int>(LogLevel::Warn)};
   std::atomic<int> format_{static_cast<int>(Format::KeyValue)};
-  std::mutex mutex_;          ///< serializes line assembly + write
-  std::ostream* sink_ = nullptr;  ///< guarded by mutex_; null = stderr
+  common::Mutex mutex_;
+  std::ostream* sink_ GUARDED_BY(mutex_) = nullptr;  ///< null = stderr
 };
 
 /// The process-global logger.
@@ -145,13 +151,15 @@ class RateLimiter {
   Decision tickAt(double now_seconds);
 
  private:
-  std::mutex mutex_;
-  double rate_;
-  double burst_;
-  double tokens_;
-  double last_ = 0.0;
-  bool primed_ = false;
-  std::uint64_t suppressed_ = 0;
+  // Lock table — mutex_ guards the bucket state below; rate_/burst_ are
+  // set once in the constructor and immutable afterwards.
+  common::Mutex mutex_;
+  const double rate_;
+  const double burst_;
+  double tokens_ GUARDED_BY(mutex_);
+  double last_ GUARDED_BY(mutex_) = 0.0;
+  bool primed_ GUARDED_BY(mutex_) = false;
+  std::uint64_t suppressed_ GUARDED_BY(mutex_) = 0;
 };
 
 inline void debug(std::string_view event,

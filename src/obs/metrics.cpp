@@ -34,7 +34,7 @@ void appendJsonKey(std::string& out, const std::string& name) {
 
 void Histogram::record(double v) {
   if (!enabled_->load(std::memory_order_relaxed)) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (count_ == 0) {
     min_ = v;
     max_ = v;
@@ -59,7 +59,7 @@ void Histogram::record(double v, std::uint64_t event_id, std::uint64_t ts_us) {
   if (!enabled_->load(std::memory_order_relaxed)) return;
   record(v);
   if (event_id == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (exemplars_.size() < kMaxExemplars) {
     exemplars_.push_back({v, event_id, ts_us});
     exemplar_next_ = exemplars_.size() % kMaxExemplars;
@@ -70,7 +70,7 @@ void Histogram::record(double v, std::uint64_t event_id, std::uint64_t ts_us) {
 }
 
 std::vector<Exemplar> Histogram::exemplars() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<Exemplar> out;
   out.reserve(exemplars_.size());
   if (exemplars_.size() < kMaxExemplars) {
@@ -98,14 +98,14 @@ double Histogram::quantileLocked(double q, std::vector<double>& scratch) const {
 }
 
 double Histogram::quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<double> scratch;
   return quantileLocked(q, scratch);
 }
 
 std::vector<std::uint64_t> Histogram::cumulativeBuckets(
     const std::vector<double>& upper_bounds) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<std::uint64_t> out(upper_bounds.size(), 0);
   for (const double v : samples_) {
     for (std::size_t b = 0; b < upper_bounds.size(); ++b) {
@@ -121,7 +121,7 @@ std::vector<std::uint64_t> Histogram::cumulativeBuckets(
 }
 
 HistogramSnapshot Histogram::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   HistogramSnapshot s;
   s.count = count_;
   s.sum = sum_;
@@ -135,7 +135,7 @@ HistogramSnapshot Histogram::snapshot() const {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -147,7 +147,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -159,7 +159,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -171,7 +171,7 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) {
     c->value_.store(0, std::memory_order_relaxed);
   }
@@ -179,7 +179,7 @@ void Registry::reset() {
     g->value_.store(0.0, std::memory_order_relaxed);
   }
   for (auto& [name, h] : histograms_) {
-    std::lock_guard<std::mutex> hlock(h->mutex_);
+    common::MutexLock hlock(h->mutex_);
     h->count_ = 0;
     h->sum_ = 0.0;
     h->min_ = 0.0;
@@ -191,7 +191,7 @@ void Registry::reset() {
 }
 
 void Registry::writeJson(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::string out;
   out.reserve(1024);
   out += "{\n  \"schema\": \"psmgen.metrics.v1\",\n  \"counters\": {";
@@ -245,7 +245,7 @@ void Registry::writeJson(std::ostream& os) const {
 
 RegistrySnapshot Registry::snapshot(
     const std::vector<double>& histogram_bounds) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   RegistrySnapshot s;
   s.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());

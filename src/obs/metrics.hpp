@@ -24,10 +24,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace psmgen::obs {
 
@@ -134,18 +136,22 @@ class Histogram {
  private:
   friend class Registry;
   explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
-  double quantileLocked(double q, std::vector<double>& scratch) const;
+  double quantileLocked(double q, std::vector<double>& scratch) const
+      REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::size_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  std::vector<double> samples_;
+  // Lock table — mutex_ protects every aggregate below (count_/sum_/
+  // min_/max_/samples_ and the exemplar ring). Registry::reset() also
+  // takes this mutex (after its own) to zero the aggregates in place.
+  mutable common::Mutex mutex_;
+  std::size_t count_ GUARDED_BY(mutex_) = 0;
+  double sum_ GUARDED_BY(mutex_) = 0.0;
+  double min_ GUARDED_BY(mutex_) = 0.0;
+  double max_ GUARDED_BY(mutex_) = 0.0;
+  std::vector<double> samples_ GUARDED_BY(mutex_);
   /// Exemplar ring: exemplars_[exemplar_next_ % kMaxExemplars] is the
   /// oldest once full.
-  std::vector<Exemplar> exemplars_;
-  std::size_t exemplar_next_ = 0;
+  std::vector<Exemplar> exemplars_ GUARDED_BY(mutex_);
+  std::size_t exemplar_next_ GUARDED_BY(mutex_) = 0;
   const std::atomic<bool>* enabled_;
 };
 
@@ -201,11 +207,19 @@ class Registry {
       const std::vector<double>& histogram_bounds = {}) const;
 
  private:
-  mutable std::mutex mutex_;  ///< guards the three maps
+  // Lock table — mutex_ guards the three instrument maps (registration
+  // and iteration). Instrument *values* are their own concern: counters
+  // and gauges are atomics, each histogram has its own mutex. Lock order
+  // is always Registry::mutex_ before Histogram::mutex_ (reset(),
+  // writeJson(), snapshot()); no path takes them in the other order.
+  mutable common::Mutex mutex_;
   std::atomic<bool> enabled_{false};
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 /// The process-global registry.

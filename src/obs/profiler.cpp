@@ -12,13 +12,13 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
 #include <type_traits>
 #include <unordered_map>
 
+#include "common/strings.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace_span.hpp"
@@ -159,15 +159,25 @@ struct Profiler::Ring {
 
 void profilerSignalHandler(int) {
   const int saved_errno = errno;
-  Profiler& p = profiler();
+  // profilerIfCreated(), never profiler(): the lazy accessor's first
+  // call allocates under a static guard, and neither __cxa_guard_acquire
+  // nor operator new may appear in a handler's call graph
+  // (scripts/signal_safety_gate.py enforces this). A tick can only fire
+  // after start() armed the timer, which created the instance — the
+  // null check is belt and braces.
+  Profiler* p = profilerIfCreated();
+  if (p == nullptr) {
+    errno = saved_errno;
+    return;
+  }
   // seq_cst pairs with stop()'s armed_ store + in_handler_ wait: a
   // handler that observed armed==true is always counted before stop()
   // can see the count reach zero, so aggregation never races a writer.
-  p.in_handler_.fetch_add(1, std::memory_order_seq_cst);
-  if (p.armed_.load(std::memory_order_seq_cst) && !inFatalSignalDump()) {
-    p.sampleCurrentThread();
+  p->in_handler_.fetch_add(1, std::memory_order_seq_cst);
+  if (p->armed_.load(std::memory_order_seq_cst) && !inFatalSignalDump()) {
+    p->sampleCurrentThread();
   }
-  p.in_handler_.fetch_sub(1, std::memory_order_seq_cst);
+  p->in_handler_.fetch_sub(1, std::memory_order_seq_cst);
   errno = saved_errno;
 }
 
@@ -175,7 +185,14 @@ void profilerSignalHandler(int) {
 // no logger/metrics. backtrace(3) is primed at start() so its one-time
 // libgcc load never happens in the handler. noinline keeps the
 // kHandlerSkipFrames layout (this function + the handler) honest.
-__attribute__((noinline)) void Profiler::sampleCurrentThread() {
+// NO_THREAD_SAFETY_ANALYSIS: rings_ is guarded by control_mu_, but a
+// signal handler can never block on it — this reader relies on the
+// lock-free epoch/claim protocol instead (pool rebuilt only under
+// control_mu_ while disarmed, handlers drained by stop() before the
+// pool is touched), a contract the analysis cannot express. Pinned by
+// scripts/signal_safety_gate.py and the profiler tests.
+__attribute__((noinline)) void Profiler::sampleCurrentThread()
+    NO_THREAD_SAFETY_ANALYSIS {
   const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
   Ring* ring = nullptr;
   if (t_profiler_epoch == epoch && t_profiler_ring != nullptr) {
@@ -221,15 +238,8 @@ __attribute__((noinline)) void Profiler::sampleCurrentThread() {
 Profiler::Profiler() = default;
 Profiler::~Profiler() { stop(); }
 
-namespace {
-std::mutex& profilerControlMutex() {
-  static std::mutex mutex;
-  return mutex;
-}
-}  // namespace
-
 bool Profiler::start(const ProfilerConfig& config) {
-  std::lock_guard<std::mutex> lock(profilerControlMutex());
+  common::MutexLock lock(control_mu_);
   if (armed_.load(std::memory_order_acquire)) {
     error("obs.profile_already_running", {});
     return false;
@@ -277,7 +287,7 @@ bool Profiler::start(const ProfilerConfig& config) {
     if (::sigaction(SIGPROF, &action, nullptr) != 0) {
       g_sigprof_installed.store(false);
       error("obs.profile_sigaction_failed",
-            {{"errno", std::strerror(errno)}});
+            {{"errno", common::errnoMessage(errno)}});
       return false;
     }
   }
@@ -293,7 +303,7 @@ bool Profiler::start(const ProfilerConfig& config) {
   timer.it_value = timer.it_interval;
   if (::setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
     armed_.store(false, std::memory_order_seq_cst);
-    error("obs.profile_setitimer_failed", {{"errno", std::strerror(errno)}});
+    error("obs.profile_setitimer_failed", {{"errno", common::errnoMessage(errno)}});
     return false;
   }
 
@@ -311,7 +321,7 @@ bool Profiler::start(const ProfilerConfig& config) {
 }
 
 ProfileReport Profiler::stop() {
-  std::lock_guard<std::mutex> lock(profilerControlMutex());
+  common::MutexLock lock(control_mu_);
   ProfileReport report;
   if (!armed_.load(std::memory_order_acquire)) return report;
 
@@ -411,7 +421,7 @@ ProfileReport Profiler::stop() {
 }
 
 std::vector<ProfileReport::Thread> Profiler::threadInventory() const {
-  std::lock_guard<std::mutex> lock(profilerControlMutex());
+  common::MutexLock lock(control_mu_);
   std::vector<ProfileReport::Thread> out;
   const std::size_t claimed =
       std::min(rings_claimed_.load(std::memory_order_relaxed), rings_.size());
@@ -428,11 +438,32 @@ std::vector<ProfileReport::Thread> Profiler::threadInventory() const {
   return out;
 }
 
+namespace {
+
+/// Published by profiler() once the lazy singleton exists; the SIGPROF
+/// handler reads only this, never the guarded static below.
+std::atomic<Profiler*> g_profiler_if_created{nullptr};
+
+}  // namespace
+
 Profiler& profiler() {
   // Leaked on purpose (like flightRecorder()): the SIGPROF disposition
   // outlives static destruction, so the object it samples into must too.
-  static Profiler* instance = new Profiler();
+  static Profiler* instance = [] {
+    auto* created = new Profiler();
+    g_profiler_if_created.store(created, std::memory_order_release);
+    return created;
+  }();
   return *instance;
+}
+
+Profiler* profilerIfCreated() noexcept {
+  return g_profiler_if_created.load(std::memory_order_acquire);
+}
+
+ProfilerConfig Profiler::config() const {
+  common::MutexLock lock(control_mu_);
+  return config_;
 }
 
 std::string renderCollapsed(const ProfileReport& report) {

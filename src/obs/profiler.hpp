@@ -50,6 +50,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
 namespace psmgen::obs {
 
 /// Hard cap on retained stack depth per sample (deeper stacks are
@@ -127,7 +130,7 @@ class Profiler {
   std::vector<ProfileReport::Thread> threadInventory() const;
 
   /// The configuration of the current/last capture.
-  const ProfilerConfig& config() const { return config_; }
+  ProfilerConfig config() const EXCLUDES(control_mu_);
 
  private:
   friend void profilerSignalHandler(int);
@@ -144,14 +147,30 @@ class Profiler {
   std::atomic<std::size_t> rings_claimed_{0};
   std::atomic<std::uint64_t> overflowed_{0};
 
-  ProfilerConfig config_;
-  std::vector<std::unique_ptr<Ring>> rings_;
-  double started_monotonic_s_ = 0.0;
+  // Lock table — control_mu_ serializes the control plane (start/stop/
+  // threadInventory/config) and guards the capture configuration, the
+  // ring pool's shape, and the capture start time. The SIGPROF handler
+  // deliberately runs outside this lock: a handler can never block, so
+  // it reaches the rings only through the lock-free epoch/claim protocol
+  // (relaxed atomics above), and stop() drains in_handler_ before it
+  // aggregates. sampleCurrentThread() is the one NO_THREAD_SAFETY_ANALYSIS
+  // reader of rings_.
+  mutable common::Mutex control_mu_;
+  ProfilerConfig config_ GUARDED_BY(control_mu_);
+  std::vector<std::unique_ptr<Ring>> rings_ GUARDED_BY(control_mu_);
+  double started_monotonic_s_ GUARDED_BY(control_mu_) = 0.0;
 };
 
 /// The process-global profiler (one ITIMER_PROF per process, so one
 /// profiler per process).
 Profiler& profiler();
+
+/// The process-global profiler if profiler() has already created it,
+/// else nullptr — one acquire load. The SIGPROF handler uses this so
+/// first-call lazy initialization (__cxa_guard_acquire + operator new)
+/// can never appear in a signal handler's call graph;
+/// scripts/signal_safety_gate.py enforces that property.
+Profiler* profilerIfCreated() noexcept;
 
 /// Renders the Brendan-Gregg collapsed-stack text form:
 /// `frame;frame;frame count\n` per folded stack, root-first.

@@ -37,23 +37,23 @@ double Tracer::nowUs() const {
 void Tracer::record(std::string_view name, std::string_view category,
                     double ts_us, double dur_us, int lane) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   events_.push_back(
       {std::string(name), std::string(category), ts_us, dur_us, lane});
 }
 
 std::size_t Tracer::eventCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return events_.size();
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   events_.clear();
 }
 
 void Tracer::writeJson(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::string out;
   out.reserve(256 + events_.size() * 96);
   out += "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";

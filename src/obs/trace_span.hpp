@@ -18,10 +18,12 @@
 #include <chrono>
 #include <cstddef>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace psmgen::obs {
 
@@ -55,9 +57,12 @@ class Tracer {
     int lane = 0;
   };
 
+  // Lock table — mutex_ guards the event buffer; enabled_ is a relaxed
+  // atomic (disabled spans must stay lock-free) and epoch_ is immutable
+  // after construction.
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  mutable common::Mutex mutex_;
+  std::vector<Event> events_ GUARDED_BY(mutex_);
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 };

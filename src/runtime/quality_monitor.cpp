@@ -57,7 +57,7 @@ QualityMonitor::QualityMonitor(OnlinePredictor& predictor,
 
 void QualityMonitor::reset() {
   predictor_.reset();
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   ring_.clear();
   window_ = QualityWindow{};
   occupancy_.assign(psm_->stateCount(), 0);
@@ -91,7 +91,7 @@ double QualityMonitor::predictRowImpl(
   rec.lost = predictor_.isLost();
   rec.state = rec.lost ? core::kNoState : predictor_.currentState();
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
 
   // Power residual against the occupied state's stored <mu, sigma>; a
   // reference sample measures true error, the bare estimate measures how
@@ -231,12 +231,12 @@ void QualityMonitor::updateOccupancyGaugesLocked() {
 }
 
 QualityWindow QualityMonitor::window() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return window_;
 }
 
 std::vector<double> QualityMonitor::stateOccupancy() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<double> out(occupancy_.size(), 0.0);
   if (window_.rows == 0) return out;
   for (std::size_t s = 0; s < occupancy_.size(); ++s) {
@@ -262,7 +262,7 @@ PredictorStats QualityMonitor::predictStream(
   obs::metrics().gauge("predict.wsp_percent").set(stats.wspPercent());
   obs::metrics().gauge("predict.rows_per_second").set(stats.rowsPerSecond());
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     updateOccupancyGaugesLocked();
   }
   obs::debug("quality.stream_done",

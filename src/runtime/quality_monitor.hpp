@@ -40,10 +40,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/psm.hpp"
 #include "obs/http_server.hpp"
 #include "runtime/online_predictor.hpp"
@@ -164,18 +165,23 @@ class QualityMonitor {
 
   double predictRowImpl(const std::vector<common::BitVector>& row,
                         const double* reference);
-  void evaluateLocked();
-  void updateOccupancyGaugesLocked();
+  void evaluateLocked() REQUIRES(mutex_);
+  void updateOccupancyGaugesLocked() REQUIRES(mutex_);
 
   OnlinePredictor& predictor_;
   const core::Psm* psm_;
   QualityMonitorConfig config_;
 
-  mutable std::mutex mutex_;
-  std::deque<RowRecord> ring_;
-  QualityWindow window_;
-  std::vector<std::size_t> occupancy_;  ///< windowed rows per StateId
-  bool residual_primed_ = false;
+  // Lock table — mutex_ guards the sliding window (ring_/window_/
+  // occupancy_/residual_primed_), written by the feed thread and copied
+  // by window()/stateOccupancy() on the HTTP endpoint thread. status_
+  // stays a relaxed atomic so /readyz never blocks on the feed.
+  mutable common::Mutex mutex_;
+  std::deque<RowRecord> ring_ GUARDED_BY(mutex_);
+  QualityWindow window_ GUARDED_BY(mutex_);
+  /// Windowed rows per StateId.
+  std::vector<std::size_t> occupancy_ GUARDED_BY(mutex_);
+  bool residual_primed_ GUARDED_BY(mutex_) = false;
   std::atomic<int> status_{static_cast<int>(DriftStatus::Ok)};
 };
 

@@ -5,24 +5,24 @@ namespace psmgen::serve {
 std::shared_ptr<SessionRecord> SessionRegistry::open(std::string peer) {
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   auto record = std::make_shared<SessionRecord>(id, std::move(peer));
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   live_.emplace(id, record);
   return record;
 }
 
 void SessionRegistry::close(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   live_.erase(id);
 }
 
 std::shared_ptr<SessionRecord> SessionRegistry::find(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   const auto it = live_.find(id);
   return it == live_.end() ? nullptr : it->second;
 }
 
 std::vector<std::shared_ptr<SessionRecord>> SessionRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<std::shared_ptr<SessionRecord>> out;
   out.reserve(live_.size());
   for (const auto& [id, record] : live_) out.push_back(record);
@@ -30,7 +30,7 @@ std::vector<std::shared_ptr<SessionRecord>> SessionRegistry::snapshot() const {
 }
 
 std::size_t SessionRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return live_.size();
 }
 

@@ -15,9 +15,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace psmgen::serve {
 
@@ -81,8 +83,12 @@ class SessionRegistry {
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::uint64_t, std::shared_ptr<SessionRecord>> live_;
+  // Lock table — mutex_ guards the live map only; the SessionRecords it
+  // points to are all-atomic by design (see the header comment) and are
+  // read without any lock once a shared_ptr is out.
+  mutable common::Mutex mutex_;
+  std::map<std::uint64_t, std::shared_ptr<SessionRecord>> live_
+      GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> next_id_{1};
 };
 

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/strings.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -67,7 +68,7 @@ PredictionServer::~PredictionServer() { stop(); }
 bool PredictionServer::listen() {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    obs::error("serve.socket_failed", {{"errno", std::strerror(errno)}});
+    obs::error("serve.socket_failed", {{"errno", common::errnoMessage(errno)}});
     return false;
   }
   const int one = 1;
@@ -79,7 +80,7 @@ bool PredictionServer::listen() {
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
       ::listen(fd, config_.backlog) < 0) {
     obs::error("serve.bind_failed",
-               {{"port", config_.port}, {"errno", std::strerror(errno)}});
+               {{"port", config_.port}, {"errno", common::errnoMessage(errno)}});
     ::close(fd);
     return false;
   }
@@ -122,7 +123,7 @@ void PredictionServer::stop() {
   beginDrain();
   if (accept_thread_.joinable()) accept_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    common::MutexLock lock(conns_mutex_);
     for (auto& conn : conns_) {
       if (conn->thread.joinable()) conn->thread.join();
     }
@@ -178,7 +179,7 @@ void PredictionServer::acceptLoop() {
       runConnection(fd, peer);
       raw->done.store(true, std::memory_order_release);
     });
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    common::MutexLock lock(conns_mutex_);
     conns_.push_back(std::move(conn));
     reapFinishedLocked();
   }

@@ -30,10 +30,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "serialize/psm_artifact.hpp"
 #include "serve/registry.hpp"
 #include "serve/session.hpp"
@@ -109,7 +110,7 @@ class PredictionServer {
 
   void acceptLoop();
   void runConnection(int fd, std::string peer);
-  void reapFinishedLocked();
+  void reapFinishedLocked() REQUIRES(conns_mutex_);
 
   const serialize::PsmModel& model_;
   ServerConfig config_;
@@ -120,8 +121,12 @@ class PredictionServer {
   std::atomic<std::size_t> active_{0};
   std::atomic<std::size_t> total_{0};
   std::thread accept_thread_;
-  std::mutex conns_mutex_;  ///< guards conns_
-  std::list<std::unique_ptr<Conn>> conns_;
+  // Lock table — conns_mutex_ guards the connection-thread list (accept
+  // thread inserts, reapFinishedLocked() erases, stop() drains). The
+  // Conn::done flags inside are atomics written by the session threads
+  // themselves; everything else shared across threads is atomic above.
+  common::Mutex conns_mutex_;
+  std::list<std::unique_ptr<Conn>> conns_ GUARDED_BY(conns_mutex_);
   SessionRegistry registry_;
 };
 

@@ -700,7 +700,11 @@ int printVersion() {
 
 // SIGINT/SIGTERM flip this; the serve loops poll it to begin a graceful
 // drain. std::atomic<bool> is async-signal-safe when lock-free, which it
-// is on every platform psmgen targets.
+// is on every platform psmgen targets. This is the *only* state the
+// shutdown handler may touch: scripts/signal_safety_gate.py walks the
+// handler's transitive call graph and fails the build if anything
+// async-signal-unsafe (allocation, stdio, blocking locks) ever creeps
+// in, so keep handleShutdownSignal a bare atomic store.
 std::atomic<bool> g_shutdown{false};
 
 extern "C" void handleShutdownSignal(int) {

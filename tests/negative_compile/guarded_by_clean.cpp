@@ -1,0 +1,47 @@
+// Control fixture for the negative-compile harness: the same shape as
+// guarded_by_violation.cpp but with every access correctly under the
+// lock. This TU must compile under every supported compiler — it is
+// built as an always-on object library (so GCC checks the wrappers'
+// plain C++ validity) and, under Clang, re-compiled with
+// -Werror=thread-safety by NegativeCompile.GuardedByCleanCompiles.
+// Without this control, a harness misconfiguration that fails *every*
+// compile would look identical to the analysis working.
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace psmgen::tests {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    common::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() const {
+    common::MutexLock lock(mu_);
+    return balance_;
+  }
+
+  int balanceLocked() const REQUIRES(mu_) { return balance_; }
+
+  void lockedSection() {
+    mu_.lock();
+    balance_ = balanceLocked();
+    mu_.unlock();
+  }
+
+ private:
+  mutable common::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+int exerciseAccount() {
+  Account account;
+  account.deposit(1);
+  account.lockedSection();
+  return account.balance();
+}
+
+}  // namespace psmgen::tests

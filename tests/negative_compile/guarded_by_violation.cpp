@@ -1,0 +1,37 @@
+// Negative-compile fixture: a GUARDED_BY field touched without its
+// mutex. Under Clang with -Werror=thread-safety this translation unit
+// MUST fail to compile — the NegativeCompile.GuardedByViolationTrips
+// ctest entry (WILL_FAIL) asserts exactly that, so a broken macro
+// expansion in thread_annotations.hpp (or a CI job that stopped passing
+// -Wthread-safety) cannot silently neuter the whole analysis.
+//
+// Under GCC the annotations are no-ops and this file compiles; the
+// test is only registered for Clang.
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  // Violation: writes balance_ with mu_ not held.
+  void deposit(int amount) { balance_ += amount; }
+
+  int balance() const {
+    psmgen::common::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable psmgen::common::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.balance();
+}

@@ -1,0 +1,35 @@
+// Seeded async-signal-safety violation for the signal-safety gate's
+// trip test: a handler that reaches operator new and the C++ static-
+// local guard (__cxa_guard_acquire) through a lazy singleton — exactly
+// the regression class scripts/signal_safety_gate.py exists to catch
+// (a handler calling profiler() instead of profilerIfCreated()).
+//
+// SignalSafetyGate.SeededHandlerTrips runs the real gate CLI over this
+// TU with `--root seededBadSignalHandler=strict` and requires it to
+// FAIL (ctest WILL_FAIL): if the call-graph extraction ever stops
+// seeing these calls, the trip test goes red before a real handler
+// regression can slip through. This file is never linked into any
+// binary.
+
+#include <csignal>
+#include <vector>
+
+namespace {
+
+std::vector<int>& lazyStats() {
+  // Static-local with a dynamic initializer: the compiler emits a
+  // __cxa_guard_acquire/release pair and operator new — three banned
+  // symbols in one expression.
+  static std::vector<int>* stats = new std::vector<int>();
+  return *stats;
+}
+
+}  // namespace
+
+extern "C" void seededBadSignalHandler(int signo) {
+  lazyStats().push_back(signo);
+}
+
+void installSeededBadHandler() {
+  std::signal(SIGUSR1, &seededBadSignalHandler);
+}

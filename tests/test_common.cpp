@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cerrno>
 #include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "common/strings.hpp"
@@ -118,6 +123,36 @@ TEST(Strings, FormatAndPad) {
   EXPECT_EQ(padLeft("x", 3), "  x");
   EXPECT_EQ(padRight("x", 3), "x  ");
   EXPECT_EQ(padLeft("xyz", 2), "xyz");
+}
+
+TEST(Strings, ErrnoMessageMatchesStrerror) {
+  // Single-threaded, so std::strerror is a safe reference here; the
+  // point of errnoMessage is that it stays correct *concurrently*.
+  for (int errnum : {EINVAL, ENOENT, EAGAIN, 0}) {
+    EXPECT_EQ(errnoMessage(errnum), std::string(std::strerror(errnum)))
+        << "errnum " << errnum;
+  }
+  EXPECT_FALSE(errnoMessage(EINVAL).empty());
+}
+
+TEST(Strings, ErrnoMessageConcurrentCallsDoNotInterfere) {
+  // Hammer two distinct errnos from two threads; with std::strerror's
+  // shared static buffer this interleaving can yield torn text. Each
+  // thread must always see exactly its own message.
+  const std::string inval = errnoMessage(EINVAL);
+  const std::string noent = errnoMessage(ENOENT);
+  ASSERT_NE(inval, noent);
+  std::atomic<bool> mismatch{false};
+  auto hammer = [&](int errnum, const std::string& expected) {
+    for (int i = 0; i < 5000 && !mismatch.load(); ++i) {
+      if (errnoMessage(errnum) != expected) mismatch.store(true);
+    }
+  };
+  std::thread a(hammer, EINVAL, inval);
+  std::thread b(hammer, ENOENT, noent);
+  a.join();
+  b.join();
+  EXPECT_FALSE(mismatch.load());
 }
 
 }  // namespace
